@@ -1,0 +1,307 @@
+// Package repro is the public API of a full reproduction of
+//
+//	Jin-Hee Cho and Ing-Ray Chen, "Performance Analysis of Distributed
+//	Intrusion Detection Protocols for Mobile Group Communication
+//	Systems", IPPS/IPDPS Workshops, 2009.
+//
+// The library models a mission-oriented group communication system (GCS)
+// in a multi-hop mobile ad hoc network, protected by a voting-based
+// distributed intrusion detection protocol, and answers the paper's design
+// questions:
+//
+//   - What is the mean time to security failure (MTTSF) of the system
+//     under logarithmic / linear / polynomial insider attackers?
+//   - What total communication cost (Ĉtotal, hop·bits/s) does the
+//     protocol stack induce?
+//   - Which base detection interval TIDS maximizes MTTSF — possibly
+//     subject to a cost budget — and which detection function should be
+//     deployed against the attacker strength observed at runtime?
+//
+// Two independent evaluation engines back every answer: an analytical
+// Stochastic Petri Net whose CTMC is solved exactly (package
+// internal/core), and a protocol-granular Monte Carlo simulator (package
+// internal/sim). See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for figure-by-figure reproduction results.
+//
+// Quickstart:
+//
+//	cfg := repro.DefaultConfig()
+//	res, err := repro.Analyze(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("MTTSF = %.3g s, Ctotal = %.3g hop·bits/s\n", res.MTTSF, res.Ctotal)
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ids"
+	"repro/internal/manet"
+	"repro/internal/shapes"
+	"repro/internal/sim"
+	"repro/internal/voting"
+)
+
+// Config collects every model parameter; see DefaultConfig for the paper's
+// Section 5 environment.
+type Config = core.Config
+
+// Result is the output of one analytical evaluation: MTTSF, Ĉtotal with
+// its component breakdown, and the failure-mode split.
+type Result = core.Result
+
+// SweepPoint pairs a TIDS value with its evaluation.
+type SweepPoint = core.SweepPoint
+
+// Optimum is the best point of a sweep plus the full curve.
+type Optimum = core.Optimum
+
+// FailureCause labels how a mission ended (C1 data leak, C2 byzantine
+// compromise, or none).
+type FailureCause = core.FailureCause
+
+// Failure causes.
+const (
+	CauseNone = core.CauseNone
+	CauseC1   = core.CauseC1
+	CauseC2   = core.CauseC2
+)
+
+// Kind selects an attacker or detection growth shape.
+type Kind = shapes.Kind
+
+// Growth shapes for attacker and detection functions.
+const (
+	Logarithmic = shapes.Logarithmic
+	Linear      = shapes.Linear
+	Polynomial  = shapes.Polynomial
+)
+
+// Protocol selects the IDS architecture under analysis.
+type Protocol = core.Protocol
+
+// IDS architectures.
+const (
+	// ProtocolVoting is the paper's voting-based IDS (default).
+	ProtocolVoting = core.ProtocolVoting
+	// ProtocolClusterHead is the related-work single-decider comparator.
+	ProtocolClusterHead = core.ProtocolClusterHead
+)
+
+// DefaultConfig returns the paper's Section 5 parameterization (N=100,
+// λc=1/12 hr, λq=1/min, p1=p2=1%, m=5, BW=1 Mb/s, linear attacker and
+// detection, TIDS=120 s).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Analyze solves the SPN/CTMC model and returns MTTSF, Ĉtotal and the
+// failure split for one configuration.
+func Analyze(cfg Config) (*Result, error) { return core.Analyze(cfg) }
+
+// MTTSF computes only the mean time to security failure (faster than
+// Analyze when cost is not needed).
+func MTTSF(cfg Config) (float64, error) { return core.MTTSFOnly(cfg) }
+
+// PaperTIDSGrid is the detection-interval grid used in the paper's figures.
+var PaperTIDSGrid = core.PaperTIDSGrid
+
+// PaperMGrid is the vote-participant grid used in Figures 2 and 3.
+var PaperMGrid = core.PaperMGrid
+
+// SweepTIDS evaluates the model across a grid of detection intervals.
+func SweepTIDS(cfg Config, grid []float64) ([]SweepPoint, error) {
+	return core.SweepTIDS(cfg, grid)
+}
+
+// OptimalTIDSForMTTSF finds the grid point maximizing MTTSF.
+func OptimalTIDSForMTTSF(cfg Config, grid []float64) (*Optimum, error) {
+	return core.OptimalTIDSForMTTSF(cfg, grid)
+}
+
+// OptimalTIDSForCost finds the grid point minimizing Ĉtotal.
+func OptimalTIDSForCost(cfg Config, grid []float64) (*Optimum, error) {
+	return core.OptimalTIDSForCost(cfg, grid)
+}
+
+// ConstrainedOptimum maximizes MTTSF subject to Ĉtotal <= budget
+// (hop·bits/s) — the paper's security/performance tradeoff knob.
+func ConstrainedOptimum(cfg Config, grid []float64, budget float64) (*Optimum, error) {
+	return core.ConstrainedOptimum(cfg, grid, budget)
+}
+
+// DetectionComparison holds the Figure 4/5 series: one sweep per detection
+// shape against a fixed attacker.
+type DetectionComparison = core.DetectionComparison
+
+// CompareDetections sweeps all three detection functions.
+func CompareDetections(cfg Config, grid []float64) (*DetectionComparison, error) {
+	return core.CompareDetections(cfg, grid)
+}
+
+// BestDetection returns the detection shape and TIDS maximizing MTTSF
+// against the configured attacker.
+func BestDetection(cfg Config, grid []float64) (Kind, float64, *Result, error) {
+	return core.BestDetection(cfg, grid)
+}
+
+// --- Security/performance tradeoff frontier ---
+
+// DesignPoint is one candidate (m, TIDS, detection) configuration with its
+// MTTSF and Ĉtotal.
+type DesignPoint = core.DesignPoint
+
+// DesignSpace enumerates the candidate grid for the tradeoff exploration.
+type DesignSpace = core.DesignSpace
+
+// DefaultDesignSpace returns the paper's evaluation grid (m, TIDS,
+// detection shapes).
+func DefaultDesignSpace() DesignSpace { return core.DefaultDesignSpace() }
+
+// TradeoffFrontier explores the design space and returns the Pareto
+// frontier of MTTSF-vs-Ĉtotal — the paper's "optimal design settings under
+// which the MTTSF metric can be best traded off for the communication cost
+// metric or vice versa".
+func TradeoffFrontier(cfg Config, space DesignSpace) ([]DesignPoint, error) {
+	return core.TradeoffFrontier(cfg, space)
+}
+
+// --- Mission survivability (time-to-failure distribution) ---
+
+// SurvivalCurve is the empirical survival function P(T_failure > t),
+// sampled exactly from the analytical model's CTMC.
+type SurvivalCurve = core.SurvivalCurve
+
+// MissionAssurance reports the survival probability of a fixed-length
+// mission across a TIDS grid and the best operating point.
+type MissionAssurance = core.MissionAssurance
+
+// Survival samples the time-to-security-failure distribution with reps
+// exact CTMC replications.
+func Survival(cfg Config, reps int, seed int64) (*SurvivalCurve, error) {
+	return core.Survival(cfg, reps, seed)
+}
+
+// AssureMission evaluates P(survive missionTime) across a TIDS grid and
+// returns the operating point maximizing it. The mean-optimal and
+// assurance-optimal TIDS can differ; missions care about the latter.
+func AssureMission(cfg Config, grid []float64, missionTime float64, reps int, seed int64) (*MissionAssurance, error) {
+	return core.AssureMission(cfg, grid, missionTime, reps, seed)
+}
+
+// EventCounts are expected per-mission event counts (compromises,
+// detections, false evictions, leaks, partitions, merges).
+type EventCounts = core.EventCounts
+
+// ExpectedCounts computes the expected number of each model event over one
+// mission, cross-validated against the Monte Carlo simulator's counters.
+func ExpectedCounts(cfg Config) (*EventCounts, error) { return core.ExpectedCounts(cfg) }
+
+// Sensitivity is one parameter's MTTSF elasticity.
+type Sensitivity = core.Sensitivity
+
+// SensitivityAnalysis perturbs each continuous model parameter by ±rel and
+// returns MTTSF elasticities sorted by magnitude — which knobs matter.
+func SensitivityAnalysis(cfg Config, rel float64) ([]Sensitivity, error) {
+	return core.SensitivityAnalysis(cfg, rel)
+}
+
+// --- Runtime adaptation ---
+
+// ClassifyAttacker infers the attacker strength function from observed
+// compromise times (needs >= 3 observations); see ids.ClassifyAttacker.
+func ClassifyAttacker(times []float64, nInit int) (Kind, error) {
+	return ids.ClassifyAttacker(times, nInit, 0)
+}
+
+// BestResponse maps a classified attacker shape to the detection shape to
+// deploy (Figure 4's matching result: respond in kind).
+func BestResponse(attacker Kind) Kind { return ids.BestResponse(attacker) }
+
+// --- Voting mathematics (Equation 1) ---
+
+// VotingFalsePositive returns Pfp: the probability a healthy target is
+// evicted by one voting round, given the group composition.
+func VotingFalsePositive(nGood, nBad, m int, p2 float64) float64 {
+	return voting.FalsePositive(nGood, nBad, m, p2)
+}
+
+// VotingFalseNegative returns Pfn: the probability a compromised target
+// survives one voting round.
+func VotingFalseNegative(nGood, nBad, m int, p1 float64) float64 {
+	return voting.FalseNegative(nGood, nBad, m, p1)
+}
+
+// --- Monte Carlo simulation ---
+
+// Simulator runs protocol-granular Monte Carlo missions.
+type Simulator = sim.Runner
+
+// MissionOutcome is the result of one simulated mission.
+type MissionOutcome = sim.Outcome
+
+// SimEstimate aggregates Monte Carlo replications.
+type SimEstimate = sim.Estimate
+
+// NewSimulator builds a Monte Carlo runner for a configuration.
+func NewSimulator(cfg Config) (*Simulator, error) { return sim.NewRunner(cfg) }
+
+// --- Mobility calibration ---
+
+// GroupDynamics summarizes a random waypoint calibration run: partition and
+// merge rates, mean hop count, mean group count.
+type GroupDynamics = manet.GroupDynamics
+
+// CalibrateOpts configures a mobility calibration run.
+type CalibrateOpts = manet.CalibrateOpts
+
+// CalibrateMobility estimates the group partition/merge rates and network
+// statistics by simulating random waypoint mobility, as the paper does to
+// parameterize T_PAR and T_MER.
+func CalibrateMobility(opts CalibrateOpts) (*GroupDynamics, error) {
+	return manet.Calibrate(opts)
+}
+
+// ApplyDynamics patches the calibrated group dynamics into a configuration.
+func ApplyDynamics(cfg Config, gd *GroupDynamics) Config {
+	cfg.PartitionRate = gd.PartitionRate
+	cfg.MergeRate = gd.MergeRate
+	if gd.MeanHops >= 1 {
+		cfg.MeanHops = gd.MeanHops
+	}
+	if gd.MeanDegree > 0 {
+		cfg.MeanDegree = gd.MeanDegree
+	}
+	return cfg
+}
+
+// --- Figure regeneration ---
+
+// Figure is a regenerated evaluation figure (printable series).
+type Figure = experiments.Figure
+
+// FigureCheck is the qualitative-shape validation of one figure.
+type FigureCheck = experiments.CheckResult
+
+// Figures regenerates all four evaluation figures for a configuration.
+func Figures(cfg Config) ([]*Figure, error) { return experiments.All(cfg) }
+
+// Figure2 regenerates "Effect of m on MTTSF and Optimal TIDS".
+func Figure2(cfg Config) (*Figure, error) { return experiments.Figure2(cfg) }
+
+// Figure3 regenerates "Effect of m on Ĉtotal and Optimal TIDS".
+func Figure3(cfg Config) (*Figure, error) { return experiments.Figure3(cfg) }
+
+// Figure4 regenerates "Effect of TIDS on MTTSF by detection function".
+func Figure4(cfg Config) (*Figure, error) { return experiments.Figure4(cfg) }
+
+// Figure5 regenerates "Effect of TIDS on Ĉtotal by detection function".
+func Figure5(cfg Config) (*Figure, error) { return experiments.Figure5(cfg) }
+
+// CheckFigures validates the regenerated figures against the paper's
+// qualitative claims.
+func CheckFigures(figs []*Figure) []FigureCheck { return experiments.CheckAll(figs) }
+
+// BaselineTable compares no-IDS, host-based IDS (m=1), and voting IDS on
+// MTTSF and Ĉtotal.
+type BaselineTable = experiments.BaselineTable
+
+// Baselines evaluates the three protocol variants for a configuration.
+func Baselines(cfg Config) (*BaselineTable, error) { return experiments.Baselines(cfg) }

@@ -1,0 +1,234 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// apiConfig is a fast configuration for API-level tests.
+func apiConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 25
+	return cfg
+}
+
+func TestPublicAnalyze(t *testing.T) {
+	res, err := Analyze(apiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTTSF <= 0 || res.Ctotal <= 0 {
+		t.Fatalf("MTTSF=%v Ctotal=%v", res.MTTSF, res.Ctotal)
+	}
+	m, err := MTTSF(apiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-res.MTTSF) > 1e-6*res.MTTSF {
+		t.Errorf("MTTSF() %v disagrees with Analyze %v", m, res.MTTSF)
+	}
+}
+
+func TestPublicSweepAndOptima(t *testing.T) {
+	grid := []float64{15, 60, 240, 1200}
+	points, err := SweepTIDS(apiConfig(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(grid) {
+		t.Fatalf("points = %d", len(points))
+	}
+	optM, err := OptimalTIDSForMTTSF(apiConfig(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optC, err := OptimalTIDSForCost(apiConfig(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Result.MTTSF > optM.Result.MTTSF {
+			t.Error("OptimalTIDSForMTTSF not optimal")
+		}
+		if p.Result.Ctotal < optC.Result.Ctotal {
+			t.Error("OptimalTIDSForCost not optimal")
+		}
+	}
+	// Security/performance tradeoff: constrained optimum obeys its budget.
+	budget := optC.Result.Ctotal * 1.1
+	con, err := ConstrainedOptimum(apiConfig(), grid, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.Result.Ctotal > budget {
+		t.Errorf("budget violated: %v > %v", con.Result.Ctotal, budget)
+	}
+}
+
+func TestPublicVotingMatchesInternal(t *testing.T) {
+	pfp := VotingFalsePositive(20, 3, 5, 0.01)
+	pfn := VotingFalseNegative(20, 3, 5, 0.01)
+	if pfp <= 0 || pfp >= 1 || pfn <= 0 || pfn >= 1 {
+		t.Errorf("Pfp=%v Pfn=%v out of expected open interval", pfp, pfn)
+	}
+}
+
+func TestPublicSimulator(t *testing.T) {
+	cfg := apiConfig()
+	cfg.LambdaC = 1.0 / 1800
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMTTSF(10, 1e8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MTTSF.Mean <= 0 {
+		t.Errorf("sim estimate %+v", est.MTTSF)
+	}
+}
+
+func TestPublicClassifierAndResponse(t *testing.T) {
+	// Linear attacker produces roughly evenly spaced compromises early on.
+	times := []float64{100, 210, 290, 405, 520, 590, 700, 810, 940, 1020}
+	kind, err := ClassifyAttacker(times, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = kind // any of the three kinds is legitimate for so few samples
+	if BestResponse(Linear) != Linear || BestResponse(Polynomial) != Polynomial {
+		t.Error("BestResponse is not the identity mapping")
+	}
+	if _, err := ClassifyAttacker([]float64{1}, 50); err == nil {
+		t.Error("too-short history accepted")
+	}
+}
+
+func TestPublicCalibration(t *testing.T) {
+	gd, err := CalibrateMobility(CalibrateOpts{
+		Nodes: 20, RadioRange: 250, Duration: 600, Dt: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ApplyDynamics(apiConfig(), gd)
+	if cfg.PartitionRate != gd.PartitionRate || cfg.MergeRate != gd.MergeRate {
+		t.Error("ApplyDynamics did not patch rates")
+	}
+	if gd.MeanHops >= 1 && cfg.MeanHops != gd.MeanHops {
+		t.Error("ApplyDynamics did not patch hops")
+	}
+	if _, err := Analyze(cfg); err != nil {
+		t.Fatalf("calibrated config not analyzable: %v", err)
+	}
+}
+
+func TestPublicFigures(t *testing.T) {
+	cfg := apiConfig()
+	figs, err := Figures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for _, c := range CheckFigures(figs) {
+		if !c.OK() {
+			t.Errorf("%s", c)
+		}
+	}
+}
+
+func TestPublicPerFigureWrappers(t *testing.T) {
+	cfg := apiConfig()
+	for name, gen := range map[string]func(Config) (*Figure, error){
+		"Figure2": Figure2, "Figure3": Figure3, "Figure4": Figure4, "Figure5": Figure5,
+	} {
+		f, err := gen(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(f.Series) == 0 {
+			t.Errorf("%s produced no series", name)
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	table, err := Baselines(apiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("baseline rows = %d", len(table.Rows))
+	}
+	if res := table.Check(); !res.OK() {
+		t.Errorf("baseline check: %v", res.Violations)
+	}
+}
+
+func TestPublicSurvivalAndAssurance(t *testing.T) {
+	cfg := apiConfig()
+	curve, err := Survival(cfg, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Mean() <= 0 {
+		t.Fatal("empty survival curve")
+	}
+	mission := 24 * 3600.0
+	ma, err := AssureMission(cfg, []float64{30, 240}, mission, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.BestProb < 0 || ma.BestProb > 1 {
+		t.Errorf("BestProb = %v", ma.BestProb)
+	}
+	// The best point's probability must equal its curve's estimate at the
+	// mission time within sampling noise.
+	if p, ok := ma.PerTIDS[ma.BestTIDS]; !ok || p != ma.BestProb {
+		t.Error("BestProb inconsistent with PerTIDS")
+	}
+}
+
+func TestPublicExpectedCountsAndSensitivity(t *testing.T) {
+	cfg := apiConfig()
+	ec, err := ExpectedCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Compromises <= 0 || ec.Detections < 0 {
+		t.Errorf("counts %+v", ec)
+	}
+	sens, err := SensitivityAnalysis(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) == 0 {
+		t.Fatal("no sensitivities")
+	}
+}
+
+func TestFailureCauseConstantsExposed(t *testing.T) {
+	if CauseNone.String() != "none" || CauseC1.String() != "C1-data-leak" || CauseC2.String() != "C2-byzantine" {
+		t.Error("failure cause constants mismatch")
+	}
+	if Logarithmic.String() != "logarithmic" || Linear.String() != "linear" || Polynomial.String() != "polynomial" {
+		t.Error("kind constants mismatch")
+	}
+}
+
+func TestBestDetectionAPIMatchesFigure4(t *testing.T) {
+	cfg := apiConfig()
+	kind, tids, res, err := BestDetection(cfg, []float64{30, 120, 480})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTTSF <= 0 || tids <= 0 {
+		t.Fatalf("BestDetection result %v TIDS %v", res.MTTSF, tids)
+	}
+	if kind != Logarithmic && kind != Linear && kind != Polynomial {
+		t.Errorf("kind = %v", kind)
+	}
+}

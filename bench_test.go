@@ -1,0 +1,321 @@
+package repro
+
+// Benchmark harness: one benchmark per evaluation figure of the paper
+// (Figures 2-5; the paper has no tables), plus ablation benchmarks for the
+// design choices called out in DESIGN.md and micro-benchmarks for the hot
+// substrates. Figure benchmarks run the complete regeneration pipeline —
+// SPN construction, reachability exploration, CTMC solve, metric assembly —
+// at a reduced N=30 so one iteration stays in seconds; the printed series
+// for the full N=100 model come from `go run ./cmd/figures`.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/gdh"
+	"repro/internal/ids"
+	"repro/internal/shapes"
+	"repro/internal/sim"
+	"repro/internal/voting"
+)
+
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 30
+	return cfg
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (MTTSF vs TIDS for m = 3,5,7,9,
+// linear attacker and detection): 36 model evaluations per iteration.
+func BenchmarkFigure2(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := experiments.CheckFigure2(fig); !res.OK() {
+			b.Fatalf("shape violated: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (Ĉtotal vs TIDS for m = 3,5,7,9).
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := experiments.CheckFigure3(fig); !res.OK() {
+			b.Fatalf("shape violated: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (MTTSF vs TIDS for the three
+// detection functions under a linear attacker, m=5).
+func BenchmarkFigure4(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := experiments.CheckFigure4(fig); !res.OK() {
+			b.Fatalf("shape violated: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (Ĉtotal vs TIDS for the three
+// detection functions under a linear attacker, m=5).
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := experiments.CheckFigure5(fig); !res.OK() {
+			b.Fatalf("shape violated: %v", res.Violations)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationVotingVsHostOnly contrasts the voting protocol (m=5)
+// with bare host-based IDS (m=1): the m=1 system pays no voting traffic
+// but suffers the full per-node error rates, trading MTTSF for cost.
+func BenchmarkAblationVotingVsHostOnly(b *testing.B) {
+	for _, m := range []int{1, 5} {
+		m := m
+		name := "host-only"
+		if m > 1 {
+			name = "voting-m5"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.M = m
+			var mttsf float64
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mttsf = res.MTTSF
+			}
+			b.ReportMetric(mttsf, "MTTSF(s)")
+		})
+	}
+}
+
+// BenchmarkAblationCompactVsExplicit contrasts the tractable compact SPN
+// (immediate eviction) with the literal Figure-1 net (DCm place + T_RK):
+// same answers, very different state-space sizes.
+func BenchmarkAblationCompactVsExplicit(b *testing.B) {
+	for _, explicit := range []bool{false, true} {
+		explicit := explicit
+		name := "compact"
+		if explicit {
+			name = "explicit-T_RK"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.N = 16
+			cfg.ExplicitEviction = explicit
+			var mttsf float64
+			for i := 0; i < b.N; i++ {
+				v, err := MTTSF(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mttsf = v
+			}
+			b.ReportMetric(mttsf, "MTTSF(s)")
+		})
+	}
+}
+
+// BenchmarkAblationEquation1VsMonteCarlo contrasts the closed-form
+// Equation 1 evaluation against simulating the same voting round, the
+// accuracy/cost tradeoff that justifies the analytical path.
+func BenchmarkAblationEquation1VsMonteCarlo(b *testing.B) {
+	const (
+		nGood, nBad, m = 20, 3, 5
+		p2             = 0.01
+	)
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			voting.FalsePositive(nGood, nBad, m, p2)
+		}
+	})
+	b.Run("monte-carlo-1k", func(b *testing.B) {
+		rng := des.NewStream(1)
+		for i := 0; i < b.N; i++ {
+			voting.SimulateFalsePositive(rng.Rand, nGood, nBad, m, p2, 1000)
+		}
+	})
+}
+
+// BenchmarkBaselines runs the no-IDS / host-only / voting protocol
+// comparison (three full model solves).
+func BenchmarkBaselines(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Baselines(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := table.Check(); !res.OK() {
+			b.Fatalf("baseline ordering violated: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkTradeoffFrontier explores a reduced (m, TIDS, detection) design
+// space and extracts its Pareto frontier.
+func BenchmarkTradeoffFrontier(b *testing.B) {
+	cfg := benchConfig()
+	space := core.DesignSpace{
+		Ms:         []int{3, 5},
+		TIDSGrid:   []float64{30, 120, 480},
+		Detections: []shapes.Kind{shapes.Logarithmic, shapes.Linear},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frontier, err := core.TradeoffFrontier(cfg, space)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frontier) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// BenchmarkSurvivalSampling measures 1000 exact CTMC mission samples (the
+// unit behind mission-assurance queries).
+func BenchmarkSurvivalSampling(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Survival(cfg, 1000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkAnalyzeFullScale solves the paper-scale N=100 model once per
+// iteration (the unit of work behind every figure point).
+func BenchmarkAnalyzeFullScale(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReachability measures SPN state-space exploration alone.
+func BenchmarkReachability(b *testing.B) {
+	cfg := DefaultConfig()
+	model, err := core.BuildModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Explore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCTMCSolve measures the sparse sojourn-time solve alone.
+func BenchmarkCTMCSolve(b *testing.B) {
+	cfg := DefaultConfig()
+	model, err := core.BuildModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graph, err := model.Explore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain := ctmc.FromGraph(graph)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.SojournTimes(graph.Initial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVotingProbabilities measures one Equation 1 evaluation at the
+// paper's composition.
+func BenchmarkVotingProbabilities(b *testing.B) {
+	p := voting.Params{M: 5, P1: 0.01, P2: 0.01}
+	for i := 0; i < b.N; i++ {
+		p.Probabilities(97, 3)
+	}
+}
+
+// BenchmarkVoteRound measures one protocol-level voting round over a
+// 100-member group.
+func BenchmarkVoteRound(b *testing.B) {
+	rng := des.NewStream(1)
+	members := make([]ids.NodeState, 100)
+	for i := range members {
+		members[i] = ids.NodeState{ID: i, Compromised: i < 3}
+	}
+	host := ids.HostIDS{P1: 0.01, P2: 0.01}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ids.RunRound(rng, members, 5, host); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGDHAgreement measures a full 16-member GDH.2 run (small test
+// group; wire accounting is what the model consumes).
+func BenchmarkGDHAgreement(b *testing.B) {
+	grp := gdh.NewTestGroup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gdh.Run(grp, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimMission measures one Monte Carlo mission at N=20.
+func BenchmarkSimMission(b *testing.B) {
+	cfg := benchConfig()
+	cfg.N = 20
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(int64(i), 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

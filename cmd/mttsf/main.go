@@ -1,0 +1,114 @@
+// Command mttsf evaluates the analytical model at one operating point (or
+// across a TIDS sweep) and prints MTTSF, Ĉtotal with its component
+// breakdown, the failure-mode split, and channel utilization.
+//
+// Usage:
+//
+//	mttsf [-n 100] [-m 5] [-tids 120] [-attacker linear] [-detection linear]
+//	      [-lambdac 4.32e4] [-p1 0.01] [-p2 0.01] [-sweep] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/shapes"
+)
+
+func main() {
+	n := flag.Int("n", 100, "initial group size N")
+	m := flag.Int("m", 5, "vote participants")
+	tids := flag.Float64("tids", 120, "base detection interval TIDS (s)")
+	attacker := flag.String("attacker", "linear", "attacker function: log|linear|poly")
+	detection := flag.String("detection", "linear", "detection function: log|linear|poly")
+	lambdaCInv := flag.Float64("compromise-period", 12*3600, "mean seconds to compromise one node (1/λc)")
+	p1 := flag.Float64("p1", 0.01, "host IDS false negative probability")
+	p2 := flag.Float64("p2", 0.01, "host IDS false positive probability")
+	sweep := flag.Bool("sweep", false, "sweep the paper's TIDS grid instead of a single point")
+	trace := flag.Bool("trace", false, "print expected sojourn time by membership level")
+	counts := flag.Bool("counts", false, "print expected per-mission event counts")
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	cfg.N = *n
+	cfg.M = *m
+	cfg.TIDS = *tids
+	cfg.LambdaC = 1 / *lambdaCInv
+	cfg.P1, cfg.P2 = *p1, *p2
+	var err error
+	if cfg.Attacker, err = shapes.ParseKind(*attacker); err != nil {
+		fatal(err)
+	}
+	if cfg.Detection, err = shapes.ParseKind(*detection); err != nil {
+		fatal(err)
+	}
+
+	if *sweep {
+		points, err := repro.SweepTIDS(cfg, repro.PaperTIDSGrid)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10s %14s %18s %12s %8s %8s\n", "TIDS(s)", "MTTSF(s)", "Ctotal(hopb/s)", "util", "P(C1)", "P(C2)")
+		for _, p := range points {
+			r := p.Result
+			fmt.Printf("%10.0f %14.5g %18.6g %12.4f %8.3f %8.3f\n",
+				p.TIDS, r.MTTSF, r.Ctotal, r.Utilization, r.ProbC1, r.ProbC2)
+		}
+		return
+	}
+
+	res, err := repro.Analyze(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("configuration: N=%d m=%d TIDS=%.0fs attacker=%v detection=%v\n",
+		cfg.N, cfg.M, cfg.TIDS, cfg.Attacker, cfg.Detection)
+	fmt.Printf("states explored: %d (%d transient)\n", res.States, res.Transient)
+	fmt.Printf("MTTSF:  %.6g s (%.2f hours)\n", res.MTTSF, res.MTTSF/3600)
+	fmt.Printf("Ctotal: %.6g hop·bits/s (utilization %.2f%%)\n", res.Ctotal, 100*res.Utilization)
+	fmt.Printf("failure split: C1 (data leak) %.1f%%, C2 (byzantine) %.1f%%, depleted %.2g%%\n",
+		100*res.ProbC1, 100*res.ProbC2, 100*res.ProbDepleted)
+	fmt.Printf("energy: %.3g W group draw (%.3g mW/node), %.4g kJ over the mission\n",
+		res.Power.TotalW, 1000*res.Power.PerNodeW, res.MissionEnergyJ/1000)
+	b := res.CostBreakdown
+	fmt.Printf("cost breakdown (hop·bits/s):\n")
+	fmt.Printf("  group communication %12.6g\n", b.GC)
+	fmt.Printf("  status exchange     %12.6g\n", b.Status)
+	fmt.Printf("  rekeying            %12.6g\n", b.Rekey)
+	fmt.Printf("  IDS voting          %12.6g\n", b.IDS)
+	fmt.Printf("  beacons             %12.6g\n", b.Beacon)
+	fmt.Printf("  merge/partition     %12.6g\n", b.MP)
+
+	if *counts {
+		ec, err := core.ExpectedCounts(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("expected events per mission: %s\n", ec)
+	}
+
+	if *trace {
+		byMembers, err := core.SojournByMembership(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		levels := make([]int, 0, len(byMembers))
+		for k := range byMembers {
+			levels = append(levels, k)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+		fmt.Println("expected sojourn by membership level:")
+		for _, lvl := range levels {
+			fmt.Printf("  %4d members: %12.5g s\n", lvl, byMembers[lvl])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mttsf:", err)
+	os.Exit(1)
+}

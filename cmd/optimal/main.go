@@ -1,0 +1,82 @@
+// Command optimal answers the paper's design questions: the TIDS that
+// maximizes MTTSF, the TIDS that minimizes Ĉtotal, the best MTTSF under a
+// communication budget, and the best detection function against a given
+// attacker.
+//
+// Usage:
+//
+//	optimal [-n 100] [-m 5] [-attacker linear] [-budget 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/shapes"
+)
+
+func main() {
+	n := flag.Int("n", 100, "initial group size N")
+	m := flag.Int("m", 5, "vote participants")
+	attacker := flag.String("attacker", "linear", "attacker function: log|linear|poly")
+	budget := flag.Float64("budget", 0, "Ctotal budget in hop·bits/s (0 disables the constrained search)")
+	pareto := flag.Bool("pareto", false, "print the Pareto frontier over (m, TIDS, detection)")
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	cfg.N = *n
+	cfg.M = *m
+	var err error
+	if cfg.Attacker, err = shapes.ParseKind(*attacker); err != nil {
+		fatal(err)
+	}
+
+	optM, err := repro.OptimalTIDSForMTTSF(cfg, repro.PaperTIDSGrid)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("max-MTTSF:  TIDS=%4.0f s  MTTSF=%.5g s  Ctotal=%.5g hop·bits/s\n",
+		optM.TIDS, optM.Result.MTTSF, optM.Result.Ctotal)
+
+	optC, err := repro.OptimalTIDSForCost(cfg, repro.PaperTIDSGrid)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("min-Ctotal: TIDS=%4.0f s  MTTSF=%.5g s  Ctotal=%.5g hop·bits/s\n",
+		optC.TIDS, optC.Result.MTTSF, optC.Result.Ctotal)
+
+	if *budget > 0 {
+		con, err := repro.ConstrainedOptimum(cfg, repro.PaperTIDSGrid, *budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("budget %.4g: TIDS=%4.0f s  MTTSF=%.5g s  Ctotal=%.5g hop·bits/s\n",
+			*budget, con.TIDS, con.Result.MTTSF, con.Result.Ctotal)
+	}
+
+	kind, tids, res, err := repro.BestDetection(cfg, repro.PaperTIDSGrid)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("best response to %v attacker: %v detection at TIDS=%.0f s (MTTSF=%.5g s)\n",
+		cfg.Attacker, kind, tids, res.MTTSF)
+
+	if *pareto {
+		frontier, err := repro.TradeoffFrontier(cfg, repro.DefaultDesignSpace())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nPareto frontier over (m, TIDS, detection) — %d optimal tradeoffs:\n", len(frontier))
+		fmt.Printf("%6s %8s %-14s %14s %16s\n", "m", "TIDS(s)", "detection", "MTTSF(s)", "Ctotal(hopb/s)")
+		for _, p := range frontier {
+			fmt.Printf("%6d %8.0f %-14v %14.5g %16.6g\n", p.M, p.TIDS, p.Detection, p.MTTSF, p.Ctotal)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "optimal:", err)
+	os.Exit(1)
+}

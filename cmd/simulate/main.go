@@ -1,0 +1,77 @@
+// Command simulate runs the protocol-granular Monte Carlo simulator and
+// compares its MTTSF/Ĉtotal estimates against the analytical model — the
+// cross-validation behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	simulate [-n 30] [-m 5] [-tids 120] [-reps 100] [-seed 1] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/shapes"
+)
+
+func main() {
+	n := flag.Int("n", 30, "initial group size N (Monte Carlo cost grows with N)")
+	m := flag.Int("m", 5, "vote participants")
+	tids := flag.Float64("tids", 120, "base detection interval (s)")
+	attacker := flag.String("attacker", "linear", "attacker function: log|linear|poly")
+	detection := flag.String("detection", "linear", "detection function: log|linear|poly")
+	reps := flag.Int("reps", 100, "replications")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	horizon := flag.Float64("horizon", 1e9, "per-mission simulation horizon (s)")
+	compare := flag.Bool("compare", true, "also solve the analytical model and compare")
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	cfg.N = *n
+	cfg.M = *m
+	cfg.TIDS = *tids
+	var err error
+	if cfg.Attacker, err = shapes.ParseKind(*attacker); err != nil {
+		fatal(err)
+	}
+	if cfg.Detection, err = shapes.ParseKind(*detection); err != nil {
+		fatal(err)
+	}
+
+	runner, err := repro.NewSimulator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	est, err := runner.EstimateMTTSF(*reps, *horizon, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Monte Carlo (%d replications):\n", est.Replications)
+	fmt.Printf("  MTTSF  = %.5g ± %.3g s (95%% CI), range [%.3g, %.3g]\n",
+		est.MTTSF.Mean, est.MTTSF.CI95, est.MTTSF.Min, est.MTTSF.Max)
+	fmt.Printf("  Ctotal = %.5g ± %.3g hop·bits/s\n", est.AvgCost.Mean, est.AvgCost.CI95)
+	fmt.Printf("  failure split: C1 %.1f%%, C2 %.1f%%\n", 100*est.CauseC1Frac, 100*est.CauseC2Frac)
+	if est.Censored > 0 {
+		fmt.Printf("  WARNING: %d replications censored at the horizon; MTTSF is biased low\n", est.Censored)
+	}
+
+	if *compare {
+		res, err := repro.Analyze(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Analytical (SPN/CTMC, %d states):\n", res.States)
+		fmt.Printf("  MTTSF  = %.5g s   (simulation/analytical = %.3f)\n",
+			res.MTTSF, est.MTTSF.Mean/res.MTTSF)
+		fmt.Printf("  Ctotal = %.5g hop·bits/s (ratio %.3f)\n",
+			res.Ctotal, est.AvgCost.Mean/res.Ctotal)
+		fmt.Printf("  failure split: C1 %.1f%%, C2 %.1f%%\n", 100*res.ProbC1, 100*res.ProbC2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command survival samples the full time-to-security-failure distribution
+// of the analytical model (not just its mean) and answers the
+// mission-assurance question the paper poses: will the system survive the
+// minimum mission time?
+//
+// Usage:
+//
+//	survival [-n 100] [-m 5] [-tids 120] [-reps 2000] [-mission 48]
+//	         [-assure] [-sensitivity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 100, "initial group size N")
+	m := flag.Int("m", 5, "vote participants")
+	tids := flag.Float64("tids", 120, "base detection interval (s)")
+	reps := flag.Int("reps", 2000, "CTMC sample paths")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	mission := flag.Float64("mission", 48, "mission length (hours)")
+	assure := flag.Bool("assure", false, "search the TIDS grid for the assurance-optimal interval")
+	sensitivity := flag.Bool("sensitivity", false, "print MTTSF elasticities of the model parameters")
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	cfg.N = *n
+	cfg.M = *m
+	cfg.TIDS = *tids
+	missionS := *mission * 3600
+
+	curve, err := repro.Survival(cfg, *reps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("time-to-security-failure distribution (%d samples, N=%d, m=%d, TIDS=%.0f s):\n",
+		*reps, cfg.N, cfg.M, cfg.TIDS)
+	fmt.Printf("  mean    %12.5g s (sampled MTTSF)\n", curve.Mean())
+	for _, q := range []float64{0.05, 0.25, 0.50, 0.75, 0.95} {
+		fmt.Printf("  q%02.0f     %12.5g s\n", q*100, curve.Quantile(q))
+	}
+	fmt.Printf("  P(survive %.0f h mission) = %.3f\n", *mission, curve.ProbSurvive(missionS))
+
+	if *assure {
+		ma, err := repro.AssureMission(cfg, repro.PaperTIDSGrid, missionS, *reps, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmission assurance across the TIDS grid (%.0f h mission):\n", *mission)
+		grid := make([]float64, 0, len(ma.PerTIDS))
+		for t := range ma.PerTIDS {
+			grid = append(grid, t)
+		}
+		sort.Float64s(grid)
+		for _, t := range grid {
+			marker := " "
+			if t == ma.BestTIDS {
+				marker = "*"
+			}
+			fmt.Printf("  %s TIDS=%5.0f s: P(survive) = %.3f\n", marker, t, ma.PerTIDS[t])
+		}
+	}
+
+	if *sensitivity {
+		sens, err := repro.SensitivityAnalysis(cfg, 0.05)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nMTTSF elasticities (±5% central differences, sorted by |impact|):")
+		for _, s := range sens {
+			fmt.Printf("  %-30s base %10.4g  elasticity %+7.3f\n", s.Param, s.Base, s.Elasticity)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "survival:", err)
+	os.Exit(1)
+}

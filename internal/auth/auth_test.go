@@ -1,0 +1,163 @@
+package auth
+
+import (
+	"crypto/ed25519"
+	"testing"
+	"time"
+)
+
+var testExpiry = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+var testNow = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestChallengeResponseHappyPath(t *testing.T) {
+	a := newAuthority(t)
+	id, err := a.Enroll(42, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChallenge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := id.Respond(c)
+	got, err := VerifyResponse(a.PublicKey(), c, resp, testNow)
+	if err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("authenticated ID = %d, want 42", got)
+	}
+}
+
+func TestCertificateFromOtherAuthorityRejected(t *testing.T) {
+	a1 := newAuthority(t)
+	a2 := newAuthority(t)
+	id, err := a2.Enroll(7, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewChallenge(nil)
+	resp := id.Respond(c)
+	if _, err := VerifyResponse(a1.PublicKey(), c, resp, testNow); err != ErrBadCertificate {
+		t.Fatalf("foreign certificate accepted (err=%v)", err)
+	}
+}
+
+func TestExpiredCertificateRejected(t *testing.T) {
+	a := newAuthority(t)
+	id, err := a.Enroll(7, testNow.Add(-time.Hour), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewChallenge(nil)
+	resp := id.Respond(c)
+	if _, err := VerifyResponse(a.PublicKey(), c, resp, testNow); err != ErrExpiredCertificate {
+		t.Fatalf("expired certificate accepted (err=%v)", err)
+	}
+}
+
+func TestReplayedResponseRejected(t *testing.T) {
+	// A response captured for one challenge must not satisfy another:
+	// the freshness property of challenge/response.
+	a := newAuthority(t)
+	id, err := a.Enroll(7, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := NewChallenge(nil)
+	resp := id.Respond(c1)
+	c2, _ := NewChallenge(nil)
+	if _, err := VerifyResponse(a.PublicKey(), c2, resp, testNow); err != ErrChallengeMismatch {
+		t.Fatalf("replayed response accepted (err=%v)", err)
+	}
+}
+
+func TestForgedNonceRejected(t *testing.T) {
+	// An attacker rewriting the echoed nonce to match the verifier's
+	// challenge still fails: the signature covers the original nonce.
+	a := newAuthority(t)
+	id, err := a.Enroll(7, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := NewChallenge(nil)
+	resp := id.Respond(c1)
+	c2, _ := NewChallenge(nil)
+	resp.Nonce = c2.Nonce // forge the echo
+	if _, err := VerifyResponse(a.PublicKey(), c2, resp, testNow); err != ErrBadResponse {
+		t.Fatalf("forged-nonce response accepted (err=%v)", err)
+	}
+}
+
+func TestStolenCertificateWithoutKeyRejected(t *testing.T) {
+	// An outsider presenting a legitimate member's certificate but
+	// signing with its own key must fail.
+	a := newAuthority(t)
+	victim, err := a.Enroll(7, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := a.Enroll(8, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewChallenge(nil)
+	resp := attacker.Respond(c)
+	resp.Cert = victim.Cert // claim to be the victim
+	if _, err := VerifyResponse(a.PublicKey(), c, resp, testNow); err != ErrBadResponse {
+		t.Fatalf("certificate theft accepted (err=%v)", err)
+	}
+}
+
+func TestTamperedCertificateIDRejected(t *testing.T) {
+	a := newAuthority(t)
+	id, err := a.Enroll(7, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id.Cert.MemberID = 99 // impersonation attempt
+	c, _ := NewChallenge(nil)
+	resp := id.Respond(c)
+	if _, err := VerifyResponse(a.PublicKey(), c, resp, testNow); err != ErrBadCertificate {
+		t.Fatalf("tampered certificate accepted (err=%v)", err)
+	}
+}
+
+func TestChallengesAreFresh(t *testing.T) {
+	c1, err := NewChallenge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewChallenge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Nonce == c2.Nonce {
+		t.Fatal("two challenges share a nonce")
+	}
+}
+
+func TestVerifyCertificateDirect(t *testing.T) {
+	a := newAuthority(t)
+	id, err := a.Enroll(3, testExpiry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCertificate(a.PublicKey(), id.Cert, testNow); err != nil {
+		t.Errorf("valid certificate rejected: %v", err)
+	}
+	// Wrong authority key.
+	other := make(ed25519.PublicKey, ed25519.PublicKeySize)
+	if err := VerifyCertificate(other, id.Cert, testNow); err != ErrBadCertificate {
+		t.Errorf("zero-key verification returned %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package combin provides the exact combinatorial and distributional
+// primitives needed by the voting-based IDS analysis: log-space factorials
+// and binomial coefficients, binomial and hypergeometric probability mass
+// functions, and their tail sums.
+//
+// Everything is computed in log space so that configurations with group
+// sizes in the hundreds remain numerically stable; probabilities are
+// exponentiated only at the very end.
+package combin
+
+import (
+	"fmt"
+	"math"
+)
+
+// logFactCache memoizes ln(n!) for small n. It is extended lazily and is
+// safe for concurrent readers once fully populated by init.
+const logFactCacheSize = 4096
+
+var logFactCache [logFactCacheSize]float64
+
+func init() {
+	logFactCache[0] = 0
+	for n := 1; n < logFactCacheSize; n++ {
+		logFactCache[n] = logFactCache[n-1] + math.Log(float64(n))
+	}
+}
+
+// LogFactorial returns ln(n!). It panics if n is negative.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: LogFactorial of negative n=%d", n))
+	}
+	if n < logFactCacheSize {
+		return logFactCache[n]
+	}
+	// Stirling's series with three correction terms; relative error is
+	// below 1e-12 for n >= cache size.
+	x := float64(n)
+	return x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) +
+		1/(12*x) - 1/(360*x*x*x)
+}
+
+// LogBinomial returns ln(C(n, k)). It returns math.Inf(-1) when the
+// coefficient is zero (k < 0 or k > n), mirroring ln(0).
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Binomial returns C(n, k) as a float64. Overflow to +Inf is possible for
+// very large n; callers needing probabilities should combine LogBinomial
+// terms instead.
+func Binomial(n, k int) float64 {
+	lb := LogBinomial(n, k)
+	if math.IsInf(lb, -1) {
+		return 0
+	}
+	return math.Exp(lb)
+}
+
+// BinomialInt64 returns C(n, k) as an exact int64 and reports whether the
+// value fits. It uses the multiplicative formula with overflow checks.
+func BinomialInt64(n, k int) (int64, bool) {
+	if k < 0 || k > n || n < 0 {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 1; i <= k; i++ {
+		// c = c * (n-k+i) / i, keeping the division exact by doing it
+		// after the multiplication of a value divisible by i.
+		num := int64(n - k + i)
+		if c > math.MaxInt64/num {
+			return 0, false
+		}
+		c = c * num / int64(i)
+	}
+	return c, true
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogBinomial(n, k) +
+		float64(k)*math.Log(p) +
+		float64(n-k)*math.Log1p(-p)
+	return math.Exp(lp)
+}
+
+// BinomialTail returns P(X >= k) for X ~ Binomial(n, p).
+func BinomialTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	// Sum the smaller side for accuracy.
+	if float64(k) > float64(n)*p {
+		s := 0.0
+		for i := k; i <= n; i++ {
+			s += BinomialPMF(n, p, i)
+		}
+		return clampProb(s)
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += BinomialPMF(n, p, i)
+	}
+	return clampProb(1 - s)
+}
+
+// BinomialCDF returns P(X <= k) for X ~ Binomial(n, p).
+func BinomialCDF(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	return clampProb(1 - BinomialTail(n, p, k+1))
+}
+
+// HypergeomPMF returns the probability of drawing exactly k marked items
+// when sampling draws items without replacement from a population of size
+// total containing marked marked items: P(K = k).
+func HypergeomPMF(total, marked, draws, k int) float64 {
+	if total < 0 || marked < 0 || marked > total || draws < 0 || draws > total {
+		return 0
+	}
+	if k < 0 || k > draws || k > marked || draws-k > total-marked {
+		return 0
+	}
+	lp := LogBinomial(marked, k) +
+		LogBinomial(total-marked, draws-k) -
+		LogBinomial(total, draws)
+	return math.Exp(lp)
+}
+
+// HypergeomSupport returns the inclusive [lo, hi] range of k values with
+// non-zero HypergeomPMF for the given parameters.
+func HypergeomSupport(total, marked, draws int) (lo, hi int) {
+	lo = draws - (total - marked)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = draws
+	if marked < hi {
+		hi = marked
+	}
+	return lo, hi
+}
+
+// HypergeomMean returns E[K] = draws * marked / total, or 0 when total = 0.
+func HypergeomMean(total, marked, draws int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(draws) * float64(marked) / float64(total)
+}
+
+// clampProb clips tiny negative or >1 excursions caused by floating-point
+// cancellation back into [0, 1].
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ClampProb exposes probability clamping for other packages that assemble
+// probabilities from sums of log-space terms.
+func ClampProb(p float64) float64 { return clampProb(p) }
+
+// LogSumExp returns ln(exp(a) + exp(b)) without overflow.
+func LogSumExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

@@ -1,0 +1,275 @@
+package combin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*m
+}
+
+func TestLogFactorialSmall(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, f := range want {
+		got := math.Exp(LogFactorial(n))
+		if !almostEqual(got, f, 1e-12) {
+			t.Errorf("exp(LogFactorial(%d)) = %v, want %v", n, got, f)
+		}
+	}
+}
+
+func TestLogFactorialStirlingContinuity(t *testing.T) {
+	// The Stirling branch must agree with the cached branch at the
+	// boundary to high precision.
+	n := logFactCacheSize - 1
+	cached := LogFactorial(n)
+	x := float64(n)
+	stirling := x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) + 1/(12*x) - 1/(360*x*x*x)
+	if !almostEqual(cached, stirling, 1e-10) {
+		t.Errorf("cache/Stirling mismatch at n=%d: %v vs %v", n, cached, stirling)
+	}
+}
+
+func TestLogFactorialNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogFactorial(-1) did not panic")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{52, 5, 2598960},
+		{100, 50, 1.0089134454556417e29},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialOutOfRange(t *testing.T) {
+	for _, c := range [][2]int{{5, -1}, {5, 6}, {-1, 0}} {
+		if got := Binomial(c[0], c[1]); got != 0 {
+			t.Errorf("Binomial(%d,%d) = %v, want 0", c[0], c[1], got)
+		}
+	}
+}
+
+func TestBinomialInt64Exact(t *testing.T) {
+	v, ok := BinomialInt64(52, 5)
+	if !ok || v != 2598960 {
+		t.Errorf("BinomialInt64(52,5) = %d,%v want 2598960,true", v, ok)
+	}
+	if _, ok := BinomialInt64(100, 50); ok {
+		t.Error("BinomialInt64(100,50) reported fit; should overflow int64")
+	}
+	v, ok = BinomialInt64(10, 20)
+	if !ok || v != 0 {
+		t.Errorf("BinomialInt64(10,20) = %d,%v want 0,true", v, ok)
+	}
+}
+
+func TestPascalIdentityProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for random moderate n, k.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		k := int(kRaw) % (n + 1)
+		if k == 0 || k == n {
+			return true
+		}
+		lhs := Binomial(n, k)
+		rhs := Binomial(n-1, k-1) + Binomial(n-1, k)
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMFNormalization(t *testing.T) {
+	f := func(nRaw uint8, pRaw float64) bool {
+		n := int(nRaw%50) + 1
+		p := math.Abs(pRaw)
+		p -= math.Floor(p) // fold into [0,1)
+		s := 0.0
+		for k := 0; k <= n; k++ {
+			pmf := BinomialPMF(n, p, k)
+			if pmf < 0 || pmf > 1 {
+				return false
+			}
+			s += pmf
+		}
+		return almostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMFDegenerate(t *testing.T) {
+	if got := BinomialPMF(10, 0, 0); got != 1 {
+		t.Errorf("PMF(n=10,p=0,k=0) = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 0, 1); got != 0 {
+		t.Errorf("PMF(n=10,p=0,k=1) = %v, want 0", got)
+	}
+	if got := BinomialPMF(10, 1, 10); got != 1 {
+		t.Errorf("PMF(n=10,p=1,k=10) = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 1, 9); got != 0 {
+		t.Errorf("PMF(n=10,p=1,k=9) = %v, want 0", got)
+	}
+}
+
+func TestBinomialTailMatchesDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		p := rng.Float64()
+		k := rng.Intn(n + 2)
+		direct := 0.0
+		for i := k; i <= n; i++ {
+			direct += BinomialPMF(n, p, i)
+		}
+		if got := BinomialTail(n, p, k); !almostEqual(got, direct, 1e-9) {
+			t.Fatalf("BinomialTail(%d,%v,%d) = %v, direct sum %v", n, p, k, got, direct)
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if got := BinomialTail(5, 0.3, 0); got != 1 {
+		t.Errorf("Tail(k=0) = %v, want 1", got)
+	}
+	if got := BinomialTail(5, 0.3, -3); got != 1 {
+		t.Errorf("Tail(k=-3) = %v, want 1", got)
+	}
+	if got := BinomialTail(5, 0.3, 6); got != 0 {
+		t.Errorf("Tail(k=n+1) = %v, want 0", got)
+	}
+}
+
+func TestBinomialCDFComplement(t *testing.T) {
+	f := func(nRaw, kRaw uint8, pRaw float64) bool {
+		n := int(nRaw%30) + 1
+		k := int(kRaw) % (n + 1)
+		p := math.Abs(pRaw)
+		p -= math.Floor(p)
+		cdf := BinomialCDF(n, p, k)
+		tail := BinomialTail(n, p, k+1)
+		return almostEqual(cdf+tail, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeomPMFNormalization(t *testing.T) {
+	f := func(tRaw, mRaw, dRaw uint8) bool {
+		total := int(tRaw%40) + 1
+		marked := int(mRaw) % (total + 1)
+		draws := int(dRaw) % (total + 1)
+		lo, hi := HypergeomSupport(total, marked, draws)
+		s := 0.0
+		for k := lo; k <= hi; k++ {
+			s += HypergeomPMF(total, marked, draws, k)
+		}
+		return almostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeomPMFKnown(t *testing.T) {
+	// Draw 2 from 5 (2 marked): P(K=1) = C(2,1)*C(3,1)/C(5,2) = 6/10.
+	if got := HypergeomPMF(5, 2, 2, 1); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("HypergeomPMF(5,2,2,1) = %v, want 0.6", got)
+	}
+	// Impossible draw count.
+	if got := HypergeomPMF(5, 2, 2, 3); got != 0 {
+		t.Errorf("HypergeomPMF out of support = %v, want 0", got)
+	}
+}
+
+func TestHypergeomMeanMatchesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		total := 1 + rng.Intn(30)
+		marked := rng.Intn(total + 1)
+		draws := rng.Intn(total + 1)
+		lo, hi := HypergeomSupport(total, marked, draws)
+		mean := 0.0
+		for k := lo; k <= hi; k++ {
+			mean += float64(k) * HypergeomPMF(total, marked, draws, k)
+		}
+		if want := HypergeomMean(total, marked, draws); !almostEqual(mean, want, 1e-9) {
+			t.Fatalf("hypergeom mean(%d,%d,%d): sum %v, formula %v", total, marked, draws, mean, want)
+		}
+	}
+}
+
+func TestHypergeomSupportBounds(t *testing.T) {
+	lo, hi := HypergeomSupport(10, 3, 8)
+	if lo != 1 || hi != 3 {
+		t.Errorf("HypergeomSupport(10,3,8) = [%d,%d], want [1,3]", lo, hi)
+	}
+	lo, hi = HypergeomSupport(10, 10, 4)
+	if lo != 4 || hi != 4 {
+		t.Errorf("HypergeomSupport(10,10,4) = [%d,%d], want [4,4]", lo, hi)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp(math.Log(0.25), math.Log(0.75))
+	if !almostEqual(got, 0, 1e-12) {
+		t.Errorf("LogSumExp(ln .25, ln .75) = %v, want 0", got)
+	}
+	if got := LogSumExp(math.Inf(-1), math.Log(2)); !almostEqual(got, math.Log(2), 1e-12) {
+		t.Errorf("LogSumExp(-inf, ln2) = %v, want ln2", got)
+	}
+	if got := LogSumExp(math.Log(3), math.Inf(-1)); !almostEqual(got, math.Log(3), 1e-12) {
+		t.Errorf("LogSumExp(ln3, -inf) = %v, want ln3", got)
+	}
+	// Large-magnitude stability: ln(e^1000 + e^999).
+	got = LogSumExp(1000, 999)
+	want := 1000 + math.Log1p(math.Exp(-1))
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("LogSumExp(1000,999) = %v, want %v", got, want)
+	}
+}
+
+func TestClampProb(t *testing.T) {
+	if got := ClampProb(-1e-15); got != 0 {
+		t.Errorf("ClampProb(-eps) = %v, want 0", got)
+	}
+	if got := ClampProb(1 + 1e-15); got != 1 {
+		t.Errorf("ClampProb(1+eps) = %v, want 1", got)
+	}
+	if got := ClampProb(0.5); got != 0.5 {
+		t.Errorf("ClampProb(0.5) = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+)
+
+// EventCounts are the expected numbers of model events over one mission
+// (from deployment to security failure). For a transition T with
+// state-dependent rate r_T(s), the expected firing count until absorption
+// is the sojourn-time-weighted rate sum E[#T] = Σ_s y_s · r_T(s) — the
+// same quantities the Monte Carlo simulator counts directly, so the two
+// engines can be compared event by event.
+type EventCounts struct {
+	// Compromises is the expected number of T_CP firings (nodes turned).
+	Compromises float64
+	// Detections is the expected number of T_IDS firings (true evictions).
+	Detections float64
+	// FalseEvictions is the expected number of T_FA firings.
+	FalseEvictions float64
+	// Leaks is the expected number of T_DRQ firings; at most one occurs
+	// (the first leak absorbs), so this equals the C1 probability.
+	Leaks float64
+	// Partitions and Merges count group dynamics events.
+	Partitions float64
+	// Merges is the expected number of T_MER firings.
+	Merges float64
+}
+
+// ExpectedCounts computes the expected event counts for a configuration.
+func ExpectedCounts(cfg Config) (*EventCounts, error) {
+	model, err := BuildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := model.Explore()
+	if err != nil {
+		return nil, err
+	}
+	chain := ctmc.FromGraph(graph)
+	sojourn, err := chain.SojournTimes(graph.Initial)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[int]string)
+	for ti, tr := range model.Net.Transitions() {
+		names[ti] = tr.Name
+	}
+	var out EventCounts
+	for state, y := range sojourn {
+		if y == 0 {
+			continue
+		}
+		for _, e := range graph.Edges[state] {
+			expected := y * e.Rate
+			switch names[e.Transition] {
+			case "T_CP":
+				out.Compromises += expected
+			case "T_IDS":
+				out.Detections += expected
+			case "T_FA":
+				out.FalseEvictions += expected
+			case "T_DRQ":
+				out.Leaks += expected
+			case "T_PAR":
+				out.Partitions += expected
+			case "T_MER":
+				out.Merges += expected
+			}
+		}
+	}
+	return &out, nil
+}
+
+// String renders the counts for CLI output.
+func (c *EventCounts) String() string {
+	return fmt.Sprintf(
+		"compromises %.2f, detections %.2f, false evictions %.2f, leaks %.3f, partitions %.2f, merges %.2f",
+		c.Compromises, c.Detections, c.FalseEvictions, c.Leaks, c.Partitions, c.Merges)
+}

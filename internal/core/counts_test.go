@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedCountsBasics(t *testing.T) {
+	cfg := smallConfig()
+	counts, err := ExpectedCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Compromises <= 0 {
+		t.Error("no expected compromises")
+	}
+	if counts.Detections <= 0 {
+		t.Error("no expected detections")
+	}
+	// The first T_DRQ firing absorbs, so E[leaks] is exactly P(C1).
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(counts.Leaks-res.ProbC1) > 1e-6 {
+		t.Errorf("E[leaks] %v != P(C1) %v", counts.Leaks, res.ProbC1)
+	}
+	if counts.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestExpectedCountsFlowConservation(t *testing.T) {
+	// Every detection consumes one prior compromise, and a compromised
+	// node's only exits are detection or the absorbing leak/C2, so
+	// E[detections] <= E[compromises].
+	cfg := smallConfig()
+	counts, err := ExpectedCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Detections > counts.Compromises+1e-9 {
+		t.Errorf("detections %v exceed compromises %v", counts.Detections, counts.Compromises)
+	}
+}
+
+func TestExpectedCountsWithinPhysicalBounds(t *testing.T) {
+	// Each mission compromises at least one node before failing (both C1
+	// and C2 require a compromise) and cannot compromise more than N.
+	// The protocol-level cross-check against the Monte Carlo simulator's
+	// counters lives in internal/sim (which may import core).
+	cfg := smallConfig()
+	counts, err := ExpectedCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Compromises < 1 || counts.Compromises > float64(cfg.N) {
+		t.Errorf("E[compromises] = %v outside [1, N]", counts.Compromises)
+	}
+}
+
+func TestExpectedCountsFasterDetectionFewerLeaks(t *testing.T) {
+	slow := smallConfig()
+	slow.TIDS = 1200
+	fast := smallConfig()
+	fast.TIDS = 15
+	cSlow, err := ExpectedCounts(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFast, err := ExpectedCounts(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cFast.Leaks >= cSlow.Leaks {
+		t.Errorf("faster detection did not reduce leaks: %v vs %v", cFast.Leaks, cSlow.Leaks)
+	}
+	if cFast.FalseEvictions <= cSlow.FalseEvictions {
+		t.Errorf("faster detection did not raise false evictions: %v vs %v",
+			cFast.FalseEvictions, cSlow.FalseEvictions)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shapes"
+)
+
+// TestRandomConfigInvariants drives the full analysis pipeline with
+// randomized (but valid) configurations and asserts the model-level
+// invariants that must hold everywhere in the parameter space.
+func TestRandomConfigInvariants(t *testing.T) {
+	f := func(nRaw, mRaw, akRaw, dkRaw uint8, tidsRaw, p1Raw, p2Raw uint16) bool {
+		cfg := DefaultConfig()
+		cfg.N = 6 + int(nRaw%20)
+		cfg.M = 1 + int(mRaw%9)
+		cfg.Attacker = shapes.Kind(int(akRaw) % 3)
+		cfg.Detection = shapes.Kind(int(dkRaw) % 3)
+		cfg.TIDS = 5 + float64(tidsRaw%1200)
+		cfg.P1 = float64(p1Raw%500) / 1000 // [0, 0.5)
+		cfg.P2 = float64(p2Raw%500) / 1000
+		res, err := Analyze(cfg)
+		if err != nil {
+			t.Logf("Analyze(%+v): %v", cfg, err)
+			return false
+		}
+		if !(res.MTTSF > 0) || math.IsInf(res.MTTSF, 0) || math.IsNaN(res.MTTSF) {
+			t.Logf("MTTSF=%v for %+v", res.MTTSF, cfg)
+			return false
+		}
+		if !(res.Ctotal > 0) || math.IsNaN(res.Ctotal) {
+			t.Logf("Ctotal=%v", res.Ctotal)
+			return false
+		}
+		if s := res.ProbC1 + res.ProbC2 + res.ProbDepleted; math.Abs(s-1) > 1e-6 {
+			t.Logf("probabilities sum %v", s)
+			return false
+		}
+		if res.ProbC1 < 0 || res.ProbC2 < 0 || res.ProbDepleted < 0 {
+			t.Logf("negative probability in %+v", res)
+			return false
+		}
+		b := res.CostBreakdown
+		for _, v := range []float64{b.GC, b.Status, b.Rekey, b.IDS, b.Beacon, b.MP} {
+			if v < 0 || math.IsNaN(v) {
+				t.Logf("negative cost component in %+v", b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlindHostIDSEqualsNoDefense: with p1 = 1 every good voter always
+// misses, so Pfn = 1, the T_IDS rate vanishes, and the defended system
+// degenerates to the undefended one — while the leak channel runs at full
+// λq. The MTTSF must collapse to the bare compromise/leak race.
+func TestBlindHostIDSEqualsNoDefense(t *testing.T) {
+	cfg := smallConfig()
+	cfg.P1 = 1
+	cfg.P2 = 0 // no false evictions either: detection fully inert
+	blind, err := MTTSFOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undefended := smallConfig()
+	undefended.P1 = 1
+	undefended.P2 = 0
+	undefended.TIDS = 1e12
+	noIDS, err := MTTSFOnly(undefended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(blind-noIDS) / noIDS; rel > 1e-9 {
+		t.Errorf("blind IDS MTTSF %v differs from no-IDS %v (rel %v)", blind, noIDS, rel)
+	}
+	// And both are far below the healthy configuration.
+	healthy, err := MTTSFOnly(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind > healthy/3 {
+		t.Errorf("blind IDS MTTSF %v suspiciously close to healthy %v", blind, healthy)
+	}
+}
+
+// TestStaticNetworkAnalyzable: zero partition/merge rates (a static,
+// always-connected group) must be a valid special case with NG pinned at 1.
+func TestStaticNetworkAnalyzable(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PartitionRate = 0
+	cfg.MergeRate = 0
+	model, err := BuildModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := model.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range graph.States {
+		if mk[model.ng] != 1 {
+			t.Fatalf("static network reached NG=%d", mk[model.ng])
+		}
+	}
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostBreakdown.MP != 0 {
+		t.Errorf("static network has merge/partition cost %v", res.CostBreakdown.MP)
+	}
+}
+
+// TestPerfectHostIDSMaximizesSurvival: p1 = p2 = 0 dominates any erroneous
+// host IDS at the same operating point.
+func TestPerfectHostIDSMaximizesSurvival(t *testing.T) {
+	perfect := smallConfig()
+	perfect.P1, perfect.P2 = 0, 0
+	a, err := MTTSFOnly(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := smallConfig()
+	b, err := MTTSFOnly(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= b {
+		t.Errorf("perfect host IDS MTTSF %v not above noisy %v", a, b)
+	}
+}

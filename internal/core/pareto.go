@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/shapes"
+)
+
+// DesignPoint is one candidate operating configuration of the IDS with its
+// two competing metrics. The paper's goal — "identify optimal design
+// settings under which the MTTSF metric can be best traded off for the
+// communication cost metric or vice versa" — is exactly the Pareto
+// frontier over these points.
+type DesignPoint struct {
+	M         int
+	TIDS      float64
+	Detection shapes.Kind
+	MTTSF     float64
+	Ctotal    float64
+}
+
+// Dominates reports whether p is at least as good as q on both metrics and
+// strictly better on one (higher MTTSF, lower Ĉtotal).
+func (p DesignPoint) Dominates(q DesignPoint) bool {
+	if p.MTTSF < q.MTTSF || p.Ctotal > q.Ctotal {
+		return false
+	}
+	return p.MTTSF > q.MTTSF || p.Ctotal < q.Ctotal
+}
+
+// DesignSpace enumerates the candidate grid.
+type DesignSpace struct {
+	Ms         []int
+	TIDSGrid   []float64
+	Detections []shapes.Kind
+}
+
+// DefaultDesignSpace returns the paper's evaluation grid: m in {3,5,7,9},
+// the Figure TIDS grid, and all three detection functions.
+func DefaultDesignSpace() DesignSpace {
+	return DesignSpace{
+		Ms:         append([]int(nil), PaperMGrid...),
+		TIDSGrid:   append([]float64(nil), PaperTIDSGrid...),
+		Detections: shapes.Kinds(),
+	}
+}
+
+// size returns the number of grid points.
+func (d DesignSpace) size() int {
+	return len(d.Ms) * len(d.TIDSGrid) * len(d.Detections)
+}
+
+// ExploreDesignSpace evaluates every grid point in parallel and returns
+// all points (sorted by ascending Ĉtotal).
+func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
+	if space.size() == 0 {
+		return nil, fmt.Errorf("core: empty design space")
+	}
+	type job struct {
+		m    int
+		tids float64
+		kind shapes.Kind
+	}
+	var jobs []job
+	for _, m := range space.Ms {
+		for _, tids := range space.TIDSGrid {
+			for _, k := range space.Detections {
+				jobs = append(jobs, job{m, tids, k})
+			}
+		}
+	}
+	points := make([]DesignPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.M = j.m
+			c.TIDS = j.tids
+			c.Detection = j.kind
+			res, err := Analyze(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = DesignPoint{
+				M: j.m, TIDS: j.tids, Detection: j.kind,
+				MTTSF: res.MTTSF, Ctotal: res.Ctotal,
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: design point m=%d TIDS=%v %v: %w",
+				jobs[i].m, jobs[i].tids, jobs[i].kind, err)
+		}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a].Ctotal < points[b].Ctotal })
+	return points, nil
+}
+
+// ParetoFrontier filters a design-point set down to its non-dominated
+// members, sorted by ascending Ĉtotal (and therefore ascending MTTSF: on
+// the frontier, paying more traffic must buy more survival).
+func ParetoFrontier(points []DesignPoint) []DesignPoint {
+	sorted := append([]DesignPoint(nil), points...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Ctotal != sorted[b].Ctotal {
+			return sorted[a].Ctotal < sorted[b].Ctotal
+		}
+		return sorted[a].MTTSF > sorted[b].MTTSF
+	})
+	var frontier []DesignPoint
+	bestMTTSF := 0.0
+	for _, p := range sorted {
+		if p.MTTSF > bestMTTSF {
+			frontier = append(frontier, p)
+			bestMTTSF = p.MTTSF
+		}
+	}
+	return frontier
+}
+
+// TradeoffFrontier explores the design space and returns its Pareto
+// frontier: the complete menu of optimal MTTSF-vs-cost tradeoffs the
+// system designer can pick from.
+func TradeoffFrontier(cfg Config, space DesignSpace) ([]DesignPoint, error) {
+	points, err := ExploreDesignSpace(cfg, space)
+	if err != nil {
+		return nil, err
+	}
+	return ParetoFrontier(points), nil
+}

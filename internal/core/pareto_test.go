@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shapes"
+)
+
+func TestDominates(t *testing.T) {
+	a := DesignPoint{MTTSF: 10, Ctotal: 5}
+	b := DesignPoint{MTTSF: 8, Ctotal: 6}
+	if !a.Dominates(b) {
+		t.Error("a should dominate b")
+	}
+	if b.Dominates(a) {
+		t.Error("b should not dominate a")
+	}
+	if a.Dominates(a) {
+		t.Error("a point must not dominate itself")
+	}
+	// Incomparable points.
+	c := DesignPoint{MTTSF: 12, Ctotal: 7}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Error("incomparable points reported dominance")
+	}
+}
+
+func TestParetoFrontierProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var points []DesignPoint
+		for i := 0; i+1 < len(raw); i += 2 {
+			points = append(points, DesignPoint{
+				MTTSF:  float64(raw[i]%1000) + 1,
+				Ctotal: float64(raw[i+1]%1000) + 1,
+			})
+		}
+		frontier := ParetoFrontier(points)
+		if len(frontier) == 0 {
+			return false
+		}
+		// 1. Frontier points are mutually non-dominating and sorted.
+		for i := range frontier {
+			for j := range frontier {
+				if i != j && frontier[i].Dominates(frontier[j]) {
+					return false
+				}
+			}
+			if i > 0 {
+				if frontier[i].Ctotal <= frontier[i-1].Ctotal {
+					return false
+				}
+				if frontier[i].MTTSF <= frontier[i-1].MTTSF {
+					return false
+				}
+			}
+		}
+		// 2. Every input point is dominated by or equal to some frontier
+		// point (no optimal point was dropped).
+		for _, p := range points {
+			covered := false
+			for _, fp := range frontier {
+				if fp == p || fp.Dominates(p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTradeoffFrontierOnModel(t *testing.T) {
+	cfg := smallConfig()
+	space := DesignSpace{
+		Ms:         []int{3, 5},
+		TIDSGrid:   []float64{30, 240},
+		Detections: []shapes.Kind{shapes.Linear},
+	}
+	points, err := ExploreDesignSpace(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("design points = %d, want 4", len(points))
+	}
+	frontier := ParetoFrontier(points)
+	if len(frontier) == 0 || len(frontier) > 4 {
+		t.Fatalf("frontier size %d", len(frontier))
+	}
+	// The frontier's extreme points are the global cheapest and the
+	// global most-surviving configurations.
+	minCost, maxMTTSF := points[0], points[0]
+	for _, p := range points {
+		if p.Ctotal < minCost.Ctotal {
+			minCost = p
+		}
+		if p.MTTSF > maxMTTSF.MTTSF {
+			maxMTTSF = p
+		}
+	}
+	if frontier[len(frontier)-1].MTTSF != maxMTTSF.MTTSF {
+		t.Error("frontier misses the max-MTTSF point")
+	}
+	if frontier[0].Ctotal > minCost.Ctotal {
+		t.Error("frontier misses the min-cost region")
+	}
+}
+
+func TestExploreDesignSpaceValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := ExploreDesignSpace(cfg, DesignSpace{}); err == nil {
+		t.Error("empty space accepted")
+	}
+	bad := cfg
+	bad.N = 0
+	if _, err := ExploreDesignSpace(bad, DefaultDesignSpace()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDefaultDesignSpace(t *testing.T) {
+	d := DefaultDesignSpace()
+	if d.size() != len(PaperMGrid)*len(PaperTIDSGrid)*3 {
+		t.Errorf("size = %d", d.size())
+	}
+}

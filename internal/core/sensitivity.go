@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sensitivity reports how strongly MTTSF reacts to one model parameter:
+// the elasticity (relative change of MTTSF per relative change of the
+// parameter, evaluated by central finite differences). |elasticity| ~ 1
+// means proportional response; the sign gives the direction.
+type Sensitivity struct {
+	Param      string
+	Base       float64 // parameter's base value
+	MTTSFBase  float64
+	Elasticity float64
+}
+
+// perturbable lists the continuous parameters probed by the analysis.
+var perturbable = []struct {
+	name string
+	get  func(*Config) float64
+	set  func(*Config, float64)
+}{
+	{"LambdaC (attacker rate)", func(c *Config) float64 { return c.LambdaC }, func(c *Config, v float64) { c.LambdaC = v }},
+	{"TIDS (detection interval)", func(c *Config) float64 { return c.TIDS }, func(c *Config, v float64) { c.TIDS = v }},
+	{"P1 (host IDS false negative)", func(c *Config) float64 { return c.P1 }, func(c *Config, v float64) { c.P1 = v }},
+	{"P2 (host IDS false positive)", func(c *Config) float64 { return c.P2 }, func(c *Config, v float64) { c.P2 = v }},
+	{"LambdaQ (data request rate)", func(c *Config) float64 { return c.LambdaQ }, func(c *Config, v float64) { c.LambdaQ = v }},
+	{"PartitionRate", func(c *Config) float64 { return c.PartitionRate }, func(c *Config, v float64) { c.PartitionRate = v }},
+	{"MergeRate", func(c *Config) float64 { return c.MergeRate }, func(c *Config, v float64) { c.MergeRate = v }},
+}
+
+// SensitivityAnalysis perturbs each continuous parameter by ±rel (for
+// example 0.05 for ±5%) and returns the MTTSF elasticities sorted by
+// descending magnitude. Parameters whose base value is zero are skipped
+// (no relative perturbation exists).
+func SensitivityAnalysis(cfg Config, rel float64) ([]Sensitivity, error) {
+	if rel <= 0 || rel >= 1 {
+		return nil, fmt.Errorf("core: perturbation %v outside (0,1)", rel)
+	}
+	base, err := MTTSFOnly(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sensitivity
+	for _, p := range perturbable {
+		v0 := p.get(&cfg)
+		if v0 == 0 {
+			continue
+		}
+		up := cfg
+		p.set(&up, v0*(1+rel))
+		down := cfg
+		p.set(&down, v0*(1-rel))
+		mUp, err := MTTSFOnly(up)
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity of %s (+): %w", p.name, err)
+		}
+		mDown, err := MTTSFOnly(down)
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity of %s (-): %w", p.name, err)
+		}
+		out = append(out, Sensitivity{
+			Param:      p.name,
+			Base:       v0,
+			MTTSFBase:  base,
+			Elasticity: (mUp - mDown) / base / (2 * rel),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return abs(out[i].Elasticity) > abs(out[j].Elasticity)
+	})
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func TestSensitivityAnalysisBasics(t *testing.T) {
+	cfg := smallConfig()
+	sens, err := SensitivityAnalysis(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) < 5 {
+		t.Fatalf("only %d parameters probed", len(sens))
+	}
+	byName := map[string]Sensitivity{}
+	for _, s := range sens {
+		byName[s.Param] = s
+		if s.MTTSFBase <= 0 {
+			t.Errorf("%s: base MTTSF %v", s.Param, s.MTTSFBase)
+		}
+	}
+	// Directional ground truths: a faster attacker and worse host IDS
+	// shorten the mission.
+	if s := byName["LambdaC (attacker rate)"]; s.Elasticity >= 0 {
+		t.Errorf("LambdaC elasticity %v, want negative", s.Elasticity)
+	}
+	if s := byName["P1 (host IDS false negative)"]; s.Elasticity >= 0 {
+		t.Errorf("P1 elasticity %v, want negative", s.Elasticity)
+	}
+	// More data requests mean more leak opportunities.
+	if s := byName["LambdaQ (data request rate)"]; s.Elasticity >= 0 {
+		t.Errorf("LambdaQ elasticity %v, want negative", s.Elasticity)
+	}
+	// Sorted by descending magnitude.
+	for i := 1; i < len(sens); i++ {
+		if abs(sens[i].Elasticity) > abs(sens[i-1].Elasticity)+1e-12 {
+			t.Error("sensitivities not sorted by magnitude")
+		}
+	}
+}
+
+func TestSensitivityAnalysisValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := SensitivityAnalysis(cfg, 0); err == nil {
+		t.Error("zero perturbation accepted")
+	}
+	if _, err := SensitivityAnalysis(cfg, 1.5); err == nil {
+		t.Error("perturbation > 1 accepted")
+	}
+	bad := cfg
+	bad.N = 0
+	if _, err := SensitivityAnalysis(bad, 0.05); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSensitivitySkipsZeroParams(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PartitionRate = 0
+	cfg.MergeRate = 0
+	sens, err := SensitivityAnalysis(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sens {
+		if s.Param == "PartitionRate" || s.Param == "MergeRate" {
+			t.Errorf("zero-valued %s was probed", s.Param)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/spn"
+)
+
+// The paper states the security requirement of a mission-oriented GCS as
+// "a threshold for MTTSF such that the system must be able to survive
+// security threats past the minimum mission time". The mean alone cannot
+// answer "will THIS 48-hour mission survive with 90% confidence"; this
+// file adds the full time-to-failure distribution by exact stochastic
+// sampling of the SPN's CTMC (the reachability graph is explored once;
+// each replication walks it with exponential races, so the samples follow
+// the analytical model exactly, with no protocol-level approximation).
+
+// FailureSample is one sampled mission outcome.
+type FailureSample struct {
+	Time  float64
+	Cause FailureCause
+}
+
+// SampleFailureTimes draws reps independent times-to-absorption from the
+// model's CTMC.
+func SampleFailureTimes(cfg Config, reps int, seed int64) ([]FailureSample, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("core: need at least 1 replication")
+	}
+	model, err := BuildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := model.Explore()
+	if err != nil {
+		return nil, err
+	}
+	rng := des.NewStream(seed)
+	out := make([]FailureSample, reps)
+	for r := 0; r < reps; r++ {
+		out[r] = sampleOnce(model, graph, rng)
+	}
+	return out, nil
+}
+
+// sampleOnce walks the CTMC from the initial state to absorption.
+func sampleOnce(model *Model, graph *spn.Graph, rng *des.Stream) FailureSample {
+	state := graph.Initial
+	t := 0.0
+	for {
+		edges := graph.Edges[state]
+		if len(edges) == 0 {
+			return FailureSample{Time: t, Cause: model.Classify(graph.States[state])}
+		}
+		total := 0.0
+		for _, e := range edges {
+			total += e.Rate
+		}
+		t += rng.Exp(total)
+		// Select the winning transition of the exponential race.
+		u := rng.Float64() * total
+		next := edges[len(edges)-1].To
+		for _, e := range edges {
+			if u < e.Rate {
+				next = e.To
+				break
+			}
+			u -= e.Rate
+		}
+		state = next
+	}
+}
+
+// SurvivalCurve is the empirical survival function P(T_failure > t).
+type SurvivalCurve struct {
+	// Sorted failure times of the replications.
+	Samples []float64
+	// Causes aligns with Samples (sorted jointly).
+	Causes []FailureCause
+}
+
+// Survival estimates the survival function with reps CTMC samples.
+func Survival(cfg Config, reps int, seed int64) (*SurvivalCurve, error) {
+	samples, err := SampleFailureTimes(cfg, reps, seed)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Time < samples[j].Time })
+	c := &SurvivalCurve{
+		Samples: make([]float64, len(samples)),
+		Causes:  make([]FailureCause, len(samples)),
+	}
+	for i, s := range samples {
+		c.Samples[i] = s.Time
+		c.Causes[i] = s.Cause
+	}
+	return c, nil
+}
+
+// ProbSurvive returns the empirical P(T > t).
+func (c *SurvivalCurve) ProbSurvive(t float64) float64 {
+	// First index with Samples[i] > t: all later replications survived t.
+	i := sort.SearchFloat64s(c.Samples, t)
+	for i < len(c.Samples) && c.Samples[i] == t {
+		i++
+	}
+	return float64(len(c.Samples)-i) / float64(len(c.Samples))
+}
+
+// Quantile returns the q-quantile (0 < q < 1) of the failure time.
+func (c *SurvivalCurve) Quantile(q float64) float64 {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.Samples[0]
+	}
+	if q >= 1 {
+		return c.Samples[len(c.Samples)-1]
+	}
+	idx := int(q * float64(len(c.Samples)))
+	if idx >= len(c.Samples) {
+		idx = len(c.Samples) - 1
+	}
+	return c.Samples[idx]
+}
+
+// Mean returns the sample mean (a Monte Carlo estimate of MTTSF).
+func (c *SurvivalCurve) Mean() float64 {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range c.Samples {
+		s += x
+	}
+	return s / float64(len(c.Samples))
+}
+
+// MissionAssurance reports whether a mission of the given length meets a
+// survival-probability requirement, and the TIDS on the grid that
+// maximizes that probability.
+type MissionAssurance struct {
+	MissionTime float64
+	// BestTIDS maximizes P(survive MissionTime) over the grid.
+	BestTIDS float64
+	// BestProb is the survival probability at BestTIDS.
+	BestProb float64
+	// PerTIDS maps each grid value to its survival probability.
+	PerTIDS map[float64]float64
+}
+
+// AssureMission evaluates P(T > missionTime) across a TIDS grid with reps
+// CTMC samples per point and returns the best operating point. Note that
+// the MTTSF-optimal TIDS and the mission-assurance-optimal TIDS can
+// differ: a fat right tail raises the mean without helping a short
+// mission.
+func AssureMission(cfg Config, grid []float64, missionTime float64, reps int, seed int64) (*MissionAssurance, error) {
+	if missionTime <= 0 {
+		return nil, fmt.Errorf("core: mission time must be positive, got %v", missionTime)
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("core: empty TIDS grid")
+	}
+	out := &MissionAssurance{
+		MissionTime: missionTime,
+		PerTIDS:     make(map[float64]float64, len(grid)),
+	}
+	for i, tids := range grid {
+		c := cfg
+		c.TIDS = tids
+		curve, err := Survival(c, reps, seed+int64(i)*104729)
+		if err != nil {
+			return nil, fmt.Errorf("core: survival at TIDS=%v: %w", tids, err)
+		}
+		p := curve.ProbSurvive(missionTime)
+		out.PerTIDS[tids] = p
+		if p > out.BestProb || (p == out.BestProb && out.BestTIDS == 0) {
+			out.BestProb, out.BestTIDS = p, tids
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleFailureTimesBasics(t *testing.T) {
+	cfg := smallConfig()
+	samples, err := SampleFailureTimes(cfg, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 200 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for i, s := range samples {
+		if s.Time <= 0 {
+			t.Fatalf("sample %d time %v", i, s.Time)
+		}
+		if s.Cause != CauseC1 && s.Cause != CauseC2 && s.Cause != CauseNone {
+			t.Fatalf("sample %d cause %v", i, s.Cause)
+		}
+	}
+	if _, err := SampleFailureTimes(cfg, 0, 1); err == nil {
+		t.Error("zero replications accepted")
+	}
+}
+
+func TestSurvivalMeanMatchesAnalyticalMTTSF(t *testing.T) {
+	// The CTMC sampler draws from exactly the distribution the solver
+	// integrates, so the sample mean must converge to the exact MTTSF.
+	cfg := smallConfig()
+	curve, err := Survival(cfg, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := MTTSFOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(curve.Mean()-exact) / exact; rel > 0.06 {
+		t.Errorf("sampled mean %v vs exact %v (rel %v)", curve.Mean(), exact, rel)
+	}
+}
+
+func TestSurvivalCurveMonotone(t *testing.T) {
+	cfg := smallConfig()
+	curve, err := Survival(cfg, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, tt := range []float64{0, 1e4, 1e5, 3e5, 1e6, 5e6, 1e9} {
+		p := curve.ProbSurvive(tt)
+		if p > prev+1e-12 {
+			t.Fatalf("survival increased at t=%v: %v > %v", tt, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("survival out of range at t=%v: %v", tt, p)
+		}
+		prev = p
+	}
+	if got := curve.ProbSurvive(0); got != 1 {
+		t.Errorf("P(T>0) = %v, want 1", got)
+	}
+	if got := curve.ProbSurvive(math.Inf(1)); got != 0 {
+		t.Errorf("P(T>inf) = %v, want 0", got)
+	}
+}
+
+func TestSurvivalQuantiles(t *testing.T) {
+	cfg := smallConfig()
+	curve, err := Survival(cfg, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q10 := curve.Quantile(0.1)
+	q50 := curve.Quantile(0.5)
+	q90 := curve.Quantile(0.9)
+	if !(q10 <= q50 && q50 <= q90) {
+		t.Errorf("quantiles not ordered: %v %v %v", q10, q50, q90)
+	}
+	// The survival function evaluated at the q-quantile is ~1-q.
+	if p := curve.ProbSurvive(q50); math.Abs(p-0.5) > 0.05 {
+		t.Errorf("P(T > median) = %v, want ~0.5", p)
+	}
+	if curve.Quantile(0) != curve.Samples[0] || curve.Quantile(1) != curve.Samples[len(curve.Samples)-1] {
+		t.Error("extreme quantiles not clamped to sample range")
+	}
+}
+
+func TestSurvivalDeterministicPerSeed(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Survival(cfg, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Survival(cfg, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same-seed sampling diverged")
+		}
+	}
+}
+
+func TestAssureMission(t *testing.T) {
+	cfg := smallConfig()
+	grid := []float64{15, 120, 1200}
+	mission := 48 * 3600.0
+	ma, err := AssureMission(cfg, grid, mission, 400, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ma.PerTIDS) != len(grid) {
+		t.Fatalf("PerTIDS has %d entries", len(ma.PerTIDS))
+	}
+	for tids, p := range ma.PerTIDS {
+		if p < 0 || p > 1 {
+			t.Errorf("P(survive) at TIDS=%v is %v", tids, p)
+		}
+		if p > ma.BestProb {
+			t.Errorf("best prob %v beaten by TIDS=%v (%v)", ma.BestProb, tids, p)
+		}
+	}
+	onGrid := false
+	for _, g := range grid {
+		if ma.BestTIDS == g {
+			onGrid = true
+		}
+	}
+	if !onGrid {
+		t.Errorf("BestTIDS %v not on grid", ma.BestTIDS)
+	}
+	if _, err := AssureMission(cfg, grid, -1, 10, 1); err == nil {
+		t.Error("negative mission time accepted")
+	}
+	if _, err := AssureMission(cfg, nil, mission, 10, 1); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestSurvivalCauseFractionsMatchAbsorptionSplit(t *testing.T) {
+	cfg := smallConfig()
+	curve, err := Survival(cfg, 3000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := 0
+	for _, c := range curve.Causes {
+		if c == CauseC1 {
+			c1++
+		}
+	}
+	frac := float64(c1) / float64(len(curve.Causes))
+	if math.Abs(frac-res.ProbC1) > 0.04 {
+		t.Errorf("sampled C1 fraction %v vs analytical %v", frac, res.ProbC1)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/linalg"
+)
+
+// TestSurvivalMatchesUniformization cross-checks the CTMC path sampler
+// against a completely independent computation of P(alive at t): the
+// uniformized transient distribution summed over transient states.
+func TestSurvivalMatchesUniformization(t *testing.T) {
+	cfg := smallConfig()
+	cfg.N = 12 // keep the uniformization series short
+	model, err := BuildModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := model.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := ctmc.FromGraph(graph)
+	p0 := linalg.NewVector(chain.NumStates())
+	p0[graph.Initial] = 1
+
+	curve, err := Survival(cfg, 4000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, horizon := range []float64{6 * 3600, 24 * 3600, 72 * 3600} {
+		pt, err := chain.TransientProbabilities(p0, horizon, ctmc.TransientOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := 0.0
+		for i := 0; i < chain.NumStates(); i++ {
+			if !chain.IsAbsorbing(i) {
+				alive += pt[i]
+			}
+		}
+		sampled := curve.ProbSurvive(horizon)
+		if math.Abs(alive-sampled) > 0.03 {
+			t.Errorf("t=%.0f h: uniformization %.4f vs sampled %.4f",
+				horizon/3600, alive, sampled)
+		}
+	}
+}

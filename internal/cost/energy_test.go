@@ -1,0 +1,98 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultEnergyParamsValid(t *testing.T) {
+	if err := DefaultEnergyParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	bad := []EnergyParams{
+		{TxPerBit: -1, RxPerBit: 1, IdlePerNodeSec: 1},
+		{},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	e := DefaultEnergyParams()
+	if _, err := e.Energy(Breakdown{GC: 1}, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := e.MissionEnergy(Breakdown{GC: 1}, 10, -5); err == nil {
+		t.Error("negative mission time accepted")
+	}
+}
+
+func TestEnergyDecomposition(t *testing.T) {
+	e := EnergyParams{TxPerBit: 2e-6, RxPerBit: 1e-6, IdlePerNodeSec: 0.01}
+	b := Breakdown{GC: 100000} // 1e5 hop·bits/s
+	r, err := e.Energy(b, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRadio := 1e5 * 3e-6 // 0.3 W
+	if math.Abs(r.RadioW-wantRadio) > 1e-12 {
+		t.Errorf("RadioW = %v, want %v", r.RadioW, wantRadio)
+	}
+	if math.Abs(r.IdleW-0.5) > 1e-12 {
+		t.Errorf("IdleW = %v, want 0.5", r.IdleW)
+	}
+	if math.Abs(r.TotalW-(wantRadio+0.5)) > 1e-12 {
+		t.Errorf("TotalW = %v", r.TotalW)
+	}
+	if math.Abs(r.PerNodeW-r.TotalW/50) > 1e-15 {
+		t.Errorf("PerNodeW = %v", r.PerNodeW)
+	}
+}
+
+func TestEnergyScalesWithTraffic(t *testing.T) {
+	e := DefaultEnergyParams()
+	low, err := e.Energy(Breakdown{GC: 1e5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := e.Energy(Breakdown{GC: 2e5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.RadioW != 2*low.RadioW {
+		t.Errorf("radio power not linear in traffic: %v vs %v", high.RadioW, 2*low.RadioW)
+	}
+	if high.IdleW != low.IdleW {
+		t.Error("idle power should not depend on traffic")
+	}
+}
+
+func TestMissionEnergy(t *testing.T) {
+	e := EnergyParams{TxPerBit: 1e-6, RxPerBit: 1e-6, IdlePerNodeSec: 0.01}
+	b := Breakdown{GC: 5e5}
+	j, err := e.MissionEnergy(b, 100, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power: 5e5*2e-6 = 1 W radio + 1 W idle = 2 W; over an hour = 7200 J.
+	if math.Abs(j-7200) > 1e-6 {
+		t.Errorf("MissionEnergy = %v J, want 7200", j)
+	}
+}
+
+func TestPaperScaleEnergyPlausible(t *testing.T) {
+	// At the paper's operating point (Ĉtotal ~5e5 hop·bits/s, 100 nodes)
+	// the per-node power should land in the tens-of-milliwatts band a
+	// MANET radio actually draws.
+	e := DefaultEnergyParams()
+	r, err := e.Energy(Breakdown{GC: 5e5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerNodeW < 1e-3 || r.PerNodeW > 1 {
+		t.Errorf("per-node power %v W implausible", r.PerNodeW)
+	}
+}

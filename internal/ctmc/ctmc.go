@@ -1,0 +1,284 @@
+// Package ctmc analyzes the continuous-time Markov chains produced by the
+// SPN reachability graph: mean time to absorption (the paper's MTTSF),
+// expected accumulated reward until absorption (the numerator of Ĉtotal),
+// absorption-probability splits (which failure condition, C1 or C2, ended
+// the mission), transient state probabilities via uniformization, and
+// steady-state distributions for ergodic chains.
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/spn"
+)
+
+// Chain is a finite-state CTMC with (possibly zero) absorbing states.
+type Chain struct {
+	n         int
+	q         *linalg.CSR // full generator; absorbing rows are all zero
+	absorbing []bool
+	// transient index mapping: full state -> compact transient index or -1
+	tIdx []int
+	tRev []int // compact transient index -> full state
+}
+
+// FromGraph converts an SPN reachability graph into a CTMC.
+func FromGraph(g *spn.Graph) *Chain {
+	n := g.NumStates()
+	b := linalg.NewSparseBuilder(n, n)
+	absorbing := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if g.IsAbsorbing(i) {
+			absorbing[i] = true
+			continue
+		}
+		exit := 0.0
+		for _, e := range g.Edges[i] {
+			if e.To == i {
+				continue // self loops do not affect the CTMC generator
+			}
+			b.Add(i, e.To, e.Rate)
+			exit += e.Rate
+		}
+		if exit > 0 {
+			b.Add(i, i, -exit)
+		} else {
+			absorbing[i] = true // only self-loops: stochastically absorbing
+		}
+	}
+	return newChain(b.Build(), absorbing)
+}
+
+// NewChain builds a chain from an explicit generator matrix. Rows whose
+// entries are all zero are treated as absorbing. Off-diagonal entries must
+// be non-negative and each row must sum to (approximately) zero.
+func NewChain(q *linalg.CSR) (*Chain, error) {
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("ctmc: generator must be square, got %dx%d", q.Rows, q.Cols)
+	}
+	n := q.Rows
+	absorbing := make([]bool, n)
+	for i := 0; i < n; i++ {
+		sum, nnz := 0.0, 0
+		var rowErr error
+		q.Row(i, func(j int, v float64) {
+			nnz++
+			sum += v
+			if j != i && v < 0 {
+				rowErr = fmt.Errorf("ctmc: negative off-diagonal rate q[%d][%d]=%v", i, j, v)
+			}
+		})
+		if rowErr != nil {
+			return nil, rowErr
+		}
+		if nnz == 0 {
+			absorbing[i] = true
+			continue
+		}
+		if math.Abs(sum) > 1e-9*math.Max(1, math.Abs(q.At(i, i))) {
+			return nil, fmt.Errorf("ctmc: row %d sums to %v, want 0", i, sum)
+		}
+	}
+	return newChain(q, absorbing), nil
+}
+
+func newChain(q *linalg.CSR, absorbing []bool) *Chain {
+	n := q.Rows
+	c := &Chain{n: n, q: q, absorbing: absorbing, tIdx: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if absorbing[i] {
+			c.tIdx[i] = -1
+		} else {
+			c.tIdx[i] = len(c.tRev)
+			c.tRev = append(c.tRev, i)
+		}
+	}
+	return c
+}
+
+// NumStates returns the total number of states.
+func (c *Chain) NumStates() int { return c.n }
+
+// NumTransient returns the number of non-absorbing states.
+func (c *Chain) NumTransient() int { return len(c.tRev) }
+
+// IsAbsorbing reports whether state i is absorbing.
+func (c *Chain) IsAbsorbing(i int) bool { return c.absorbing[i] }
+
+// Generator returns the underlying generator matrix (shared, do not mutate).
+func (c *Chain) Generator() *linalg.CSR { return c.q }
+
+// subGeneratorT builds the transpose of the transient-restricted
+// sub-generator Q_TT, used by the sojourn-time solve.
+func (c *Chain) subGeneratorT() *linalg.CSR {
+	nt := len(c.tRev)
+	b := linalg.NewSparseBuilder(nt, nt)
+	for ti, i := range c.tRev {
+		c.q.Row(i, func(j int, v float64) {
+			if tj := c.tIdx[j]; tj >= 0 {
+				b.Add(tj, ti, v) // transposed
+			}
+		})
+	}
+	return b.Build()
+}
+
+// subGenerator builds the transient-restricted sub-generator Q_TT.
+func (c *Chain) subGenerator() *linalg.CSR {
+	nt := len(c.tRev)
+	b := linalg.NewSparseBuilder(nt, nt)
+	for ti, i := range c.tRev {
+		c.q.Row(i, func(j int, v float64) {
+			if tj := c.tIdx[j]; tj >= 0 {
+				b.Add(ti, tj, v)
+			}
+		})
+	}
+	return b.Build()
+}
+
+// solve runs the solver cascade used throughout: SOR first (fast on the
+// near-triangular absorption structure of IDS models), then BiCGSTAB, then
+// dense LU for small systems as a last resort.
+func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
+	x, _, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	if err == nil {
+		return x, nil
+	}
+	x, _, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	if err2 == nil {
+		return x, nil
+	}
+	if a.Rows <= 1500 {
+		xd, err3 := linalg.SolveDense(a.Dense(), rhs)
+		if err3 == nil {
+			return xd, nil
+		}
+	}
+	return nil, fmt.Errorf("ctmc: linear solve failed: SOR %v; BiCGSTAB %v", err, err2)
+}
+
+// SojournTimes returns, for a chain started in state init, the expected
+// total time y[j] spent in each state j before absorption. Absorbing states
+// have y[j] = 0. This single solve yields MTTA (sum of y), any accumulated
+// reward (dot product with a reward vector), and absorption splits.
+func (c *Chain) SojournTimes(init int) (linalg.Vector, error) {
+	if init < 0 || init >= c.n {
+		return nil, fmt.Errorf("ctmc: initial state %d out of range", init)
+	}
+	y := linalg.NewVector(c.n)
+	if c.absorbing[init] {
+		return y, nil
+	}
+	if len(c.tRev) == 0 {
+		return y, nil
+	}
+	at := c.subGeneratorT()
+	rhs := linalg.NewVector(len(c.tRev))
+	rhs[c.tIdx[init]] = -1
+	sol, err := solve(at, rhs)
+	if err != nil {
+		return nil, err
+	}
+	for ti, i := range c.tRev {
+		v := sol[ti]
+		if v < 0 && v > -1e-9 {
+			v = 0 // numerical noise
+		}
+		y[i] = v
+	}
+	return y, nil
+}
+
+// MeanTimeToAbsorption returns the expected time until the chain started in
+// init reaches any absorbing state. It returns an error if no absorbing
+// state is reachable (infinite expectation).
+func (c *Chain) MeanTimeToAbsorption(init int) (float64, error) {
+	if len(c.tRev) == c.n {
+		return 0, fmt.Errorf("ctmc: chain has no absorbing states; MTTA is infinite")
+	}
+	y, err := c.SojournTimes(init)
+	if err != nil {
+		return 0, err
+	}
+	return y.Sum(), nil
+}
+
+// AccumulatedReward returns E[∫ r(X_t) dt until absorption | X_0 = init]
+// for a per-state reward-rate vector r of length NumStates.
+func (c *Chain) AccumulatedReward(init int, reward linalg.Vector) (float64, error) {
+	if len(reward) != c.n {
+		return 0, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), c.n)
+	}
+	y, err := c.SojournTimes(init)
+	if err != nil {
+		return 0, err
+	}
+	return y.Dot(reward), nil
+}
+
+// AbsorptionProbabilities returns, for each absorbing state a, the
+// probability that the chain started in init is absorbed in a.
+func (c *Chain) AbsorptionProbabilities(init int) (map[int]float64, error) {
+	probs := make(map[int]float64)
+	if c.absorbing[init] {
+		probs[init] = 1
+		return probs, nil
+	}
+	y, err := c.SojournTimes(init)
+	if err != nil {
+		return nil, err
+	}
+	// P(absorb in a) = sum_j y[j] * q[j][a] over transient j.
+	for _, j := range c.tRev {
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		c.q.Row(j, func(k int, v float64) {
+			if k != j && c.absorbing[k] {
+				probs[k] += yj * v
+			}
+		})
+	}
+	// Clamp tiny numerical drift.
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if total > 0 {
+		for k := range probs {
+			probs[k] /= total
+		}
+	}
+	return probs, nil
+}
+
+// ExpectedRewardAllStarts solves Q_TT w = -r restricted to transient states
+// and returns w expanded over all states: w[i] is the expected accumulated
+// reward until absorption starting from i. With r = 1 this is the MTTA from
+// every state at the cost of one solve.
+func (c *Chain) ExpectedRewardAllStarts(reward linalg.Vector) (linalg.Vector, error) {
+	if len(reward) != c.n {
+		return nil, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), c.n)
+	}
+	w := linalg.NewVector(c.n)
+	if len(c.tRev) == 0 {
+		return w, nil
+	}
+	a := c.subGenerator()
+	rhs := linalg.NewVector(len(c.tRev))
+	for ti, i := range c.tRev {
+		rhs[ti] = -reward[i]
+	}
+	sol, err := solve(a, rhs)
+	if err != nil {
+		return nil, err
+	}
+	for ti, i := range c.tRev {
+		w[i] = sol[ti]
+	}
+	return w, nil
+}

@@ -1,0 +1,158 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// bigCycle builds an ergodic random-walk-on-a-ring chain large enough to
+// route SteadyState through the power-iteration path.
+func bigCycle(n int, fwd, back float64) *Chain {
+	b := linalg.NewSparseBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n, fwd)
+		b.Add(i, (i-1+n)%n, back)
+		b.Add(i, i, -(fwd + back))
+	}
+	c, err := NewChain(b.Build())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestSteadyStatePowerIterationUniformOnRing(t *testing.T) {
+	// A symmetric ring's stationary distribution is uniform; n > 1200
+	// forces the power-iteration branch.
+	n := 1500
+	c := bigCycle(n, 1.0, 1.0)
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / float64(n)
+	for i := 0; i < n; i += 137 {
+		if math.Abs(pi[i]-want) > 1e-6 {
+			t.Fatalf("pi[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+	if math.Abs(pi.Sum()-1) > 1e-9 {
+		t.Fatalf("pi sums to %v", pi.Sum())
+	}
+}
+
+func TestSteadyStateAsymmetricRingStillUniform(t *testing.T) {
+	// A biased ring is doubly stochastic in structure: stationary law is
+	// still uniform, but the chain is non-reversible — a stronger test of
+	// the power iteration.
+	n := 1300
+	c := bigCycle(n, 2.0, 0.5)
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / float64(n)
+	for i := 0; i < n; i += 97 {
+		if math.Abs(pi[i]-want) > 1e-5 {
+			t.Fatalf("pi[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestSteadyStateEmptyChain(t *testing.T) {
+	b := linalg.NewSparseBuilder(0, 0)
+	c, err := NewChain(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SteadyState(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestExpectedRewardAllStartsValidation(t *testing.T) {
+	c := chainFromEdges(2, [][3]float64{{0, 1, 1}})
+	if _, err := c.ExpectedRewardAllStarts(linalg.Vector{1}); err == nil {
+		t.Error("wrong-length reward accepted")
+	}
+}
+
+func TestExpectedRewardAllStartsNoTransient(t *testing.T) {
+	// A chain of only absorbing states returns all zeros.
+	b := linalg.NewSparseBuilder(3, 3)
+	c, err := NewChain(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.ExpectedRewardAllStarts(linalg.ConstVector(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Norm2() != 0 {
+		t.Fatalf("rewards from absorbing-only chain: %v", w)
+	}
+}
+
+func TestTransientZeroGeneratorReturnsP0(t *testing.T) {
+	b := linalg.NewSparseBuilder(2, 2)
+	c, err := NewChain(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := linalg.Vector{0.25, 0.75}
+	pt, err := c.TransientProbabilities(p0, 10, TransientOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt[0] != 0.25 || pt[1] != 0.75 {
+		t.Fatalf("pt = %v, want p0", pt)
+	}
+}
+
+func TestTransientLongHorizonAbsorbs(t *testing.T) {
+	// Long after the mean absorption time, essentially all mass sits in
+	// the absorbing state.
+	c := chainFromEdges(2, [][3]float64{{0, 1, 0.5}})
+	pt, err := c.TransientProbabilities(linalg.Vector{1, 0}, 50, TransientOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt[1] < 0.999999 {
+		t.Fatalf("absorbed mass %v, want ~1", pt[1])
+	}
+}
+
+func TestGeneratorAccessor(t *testing.T) {
+	c := chainFromEdges(2, [][3]float64{{0, 1, 2}})
+	q := c.Generator()
+	if q.At(0, 1) != 2 || q.At(0, 0) != -2 {
+		t.Fatalf("generator content wrong")
+	}
+	if c.NumTransient() != 1 || c.NumStates() != 2 {
+		t.Errorf("counts: %d/%d", c.NumTransient(), c.NumStates())
+	}
+}
+
+func TestFromGraphChainAgainstNewChain(t *testing.T) {
+	// NewChain on the generator extracted from a FromGraph chain must
+	// reproduce the same MTTA — exercising NewChain's validation on a
+	// realistic matrix.
+	c := chainFromEdges(4, [][3]float64{{0, 1, 1}, {1, 0, 0.5}, {1, 2, 0.5}, {2, 3, 2}})
+	c2, err := NewChain(c.Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.MeanTimeToAbsorption(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c2.MeanTimeToAbsorption(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9*a {
+		t.Fatalf("MTTA mismatch: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,183 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// TransientOpts configures uniformization.
+type TransientOpts struct {
+	// Epsilon is the truncation error budget for the Poisson series
+	// (default 1e-10).
+	Epsilon float64
+	// MaxTerms caps the series length (default 1_000_000).
+	MaxTerms int
+}
+
+// TransientProbabilities returns the state probability vector at time t for
+// the chain started with distribution p0, computed with uniformization
+// (Jensen's method): pi(t) = sum_k Poisson(q*t; k) * p0 * P^k with
+// P = I + Q/q.
+func (c *Chain) TransientProbabilities(p0 linalg.Vector, t float64, opts TransientOpts) (linalg.Vector, error) {
+	if len(p0) != c.n {
+		return nil, fmt.Errorf("ctmc: p0 length %d, want %d", len(p0), c.n)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %v", t)
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 1e-10
+	}
+	if opts.MaxTerms == 0 {
+		opts.MaxTerms = 1_000_000
+	}
+	// Uniformization rate: max exit rate, padded slightly.
+	qmax := 0.0
+	for i := 0; i < c.n; i++ {
+		if d := -c.q.At(i, i); d > qmax {
+			qmax = d
+		}
+	}
+	if qmax == 0 || t == 0 {
+		return p0.Clone(), nil
+	}
+	lambda := qmax * 1.02
+	// Build P^T once so each series term is one sparse mat-vec on row
+	// vectors: v_{k+1} = v_k P  ==  v_{k+1}^T = P^T v_k^T.
+	pt := c.uniformizedPT(lambda)
+	lt := lambda * t
+	// Poisson weights in log space with running renormalization.
+	out := linalg.NewVector(c.n)
+	v := p0.Clone()
+	logW := -lt // ln Poisson(lt; 0)
+	cum := 0.0
+	for k := 0; ; k++ {
+		if k > 0 {
+			v = pt.MulVec(v)
+			logW += math.Log(lt) - math.Log(float64(k))
+		}
+		w := math.Exp(logW)
+		if w > 0 {
+			out.AXPY(w, v)
+			cum += w
+		}
+		// Stop when the remaining tail is provably below epsilon: after
+		// the mode, terms decay geometrically; use the cumulative mass.
+		if float64(k) > lt && 1-cum < opts.Epsilon {
+			break
+		}
+		if k >= opts.MaxTerms {
+			return nil, fmt.Errorf("ctmc: uniformization exceeded %d terms (lambda*t=%v)", opts.MaxTerms, lt)
+		}
+	}
+	// Renormalize against truncation loss.
+	if s := out.Sum(); s > 0 {
+		out.Scale(1 / s)
+	}
+	return out, nil
+}
+
+// uniformizedPT returns (I + Q/lambda)^T as CSR.
+func (c *Chain) uniformizedPT(lambda float64) *linalg.CSR {
+	b := linalg.NewSparseBuilder(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		diag := 1.0
+		c.q.Row(i, func(j int, v float64) {
+			if j == i {
+				diag += v / lambda
+			} else {
+				b.Add(j, i, v/lambda) // transposed
+			}
+		})
+		if diag != 0 {
+			b.Add(i, i, diag)
+		}
+	}
+	return b.Build()
+}
+
+// SteadyState returns the stationary distribution pi with pi Q = 0 and
+// sum(pi) = 1 for an ergodic (irreducible, no absorbing states) chain. It
+// replaces one balance equation with the normalization constraint and
+// solves the dense system for small chains, falling back to power iteration
+// on the uniformized DTMC for large ones.
+func (c *Chain) SteadyState() (linalg.Vector, error) {
+	for i := 0; i < c.n; i++ {
+		if c.absorbing[i] {
+			return nil, fmt.Errorf("ctmc: SteadyState requires no absorbing states (state %d is absorbing)", i)
+		}
+	}
+	if c.n == 0 {
+		return nil, fmt.Errorf("ctmc: empty chain")
+	}
+	if c.n <= 1200 {
+		return c.steadyStateDense()
+	}
+	return c.steadyStatePower()
+}
+
+func (c *Chain) steadyStateDense() (linalg.Vector, error) {
+	n := c.n
+	// System: Q^T pi = 0 with last row replaced by ones (normalization).
+	a := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		c.q.Row(i, func(j int, v float64) {
+			a.Add(j, i, v)
+		})
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	rhs := linalg.NewVector(n)
+	rhs[n-1] = 1
+	pi, err := linalg.SolveDense(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: steady-state solve: %w", err)
+	}
+	for i := range pi {
+		if pi[i] < 0 && pi[i] > -1e-9 {
+			pi[i] = 0
+		}
+		if pi[i] < 0 {
+			return nil, fmt.Errorf("ctmc: steady-state negative probability %v at state %d", pi[i], i)
+		}
+	}
+	if s := pi.Sum(); s > 0 {
+		pi.Scale(1 / s)
+	}
+	return pi, nil
+}
+
+func (c *Chain) steadyStatePower() (linalg.Vector, error) {
+	qmax := 0.0
+	for i := 0; i < c.n; i++ {
+		if d := -c.q.At(i, i); d > qmax {
+			qmax = d
+		}
+	}
+	if qmax == 0 {
+		return nil, fmt.Errorf("ctmc: zero generator")
+	}
+	pt := c.uniformizedPT(qmax * 1.05)
+	pi := linalg.ConstVector(c.n, 1/float64(c.n))
+	prev := linalg.NewVector(c.n)
+	for it := 0; it < 500000; it++ {
+		copy(prev, pi)
+		pi = pt.MulVec(pi)
+		if s := pi.Sum(); s > 0 {
+			pi.Scale(1 / s)
+		}
+		if it%16 == 15 {
+			d := 0.0
+			for i := range pi {
+				d = math.Max(d, math.Abs(pi[i]-prev[i]))
+			}
+			if d < 1e-13 {
+				return pi, nil
+			}
+		}
+	}
+	return pi, fmt.Errorf("ctmc: power iteration did not converge")
+}

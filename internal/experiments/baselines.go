@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// BaselineRow is one protocol variant's evaluation in the baseline
+// comparison.
+type BaselineRow struct {
+	Protocol string
+	MTTSF    float64
+	Ctotal   float64
+	ProbC1   float64
+	ProbC2   float64
+}
+
+// BaselineTable compares the paper's two IDS protocol classes (Section
+// 2.2) against an undefended group:
+//
+//   - "no IDS": detection effectively disabled (TIDS -> infinity); the
+//     mission is a bare race between compromise and data leak,
+//   - "host-based IDS": each node judged by a single assessor (m = 1), so
+//     per-node error rates apply directly,
+//   - "voting IDS": the paper's protocol with the configured m.
+//
+// This is the quantitative version of the paper's motivation for
+// voting-based detection under collusion.
+type BaselineTable struct {
+	Config core.Config
+	Rows   []BaselineRow
+}
+
+// Baselines evaluates the three protocol variants under the given
+// configuration (its M is used for the voting row).
+func Baselines(cfg core.Config) (*BaselineTable, error) {
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("experiments: baseline comparison needs a voting panel (M >= 2), got %d", cfg.M)
+	}
+	table := &BaselineTable{Config: cfg}
+
+	noIDS := cfg
+	noIDS.TIDS = 1e12 // detection rate ~0: undefended
+	clusterHead := cfg
+	clusterHead.Protocol = core.ProtocolClusterHead
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"no IDS", noIDS},
+		{"host-based IDS (m=1)", withM(cfg, 1)},
+		{"cluster-head IDS", clusterHead},
+		{fmt.Sprintf("voting IDS (m=%d)", cfg.M), cfg},
+	}
+	for _, v := range variants {
+		res, err := core.Analyze(v.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %q: %w", v.name, err)
+		}
+		table.Rows = append(table.Rows, BaselineRow{
+			Protocol: v.name,
+			MTTSF:    res.MTTSF,
+			Ctotal:   res.Ctotal,
+			ProbC1:   res.ProbC1,
+			ProbC2:   res.ProbC2,
+		})
+	}
+	return table, nil
+}
+
+func withM(cfg core.Config, m int) core.Config {
+	cfg.M = m
+	return cfg
+}
+
+// WriteTable renders the baseline comparison.
+func (t *BaselineTable) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Protocol baseline comparison (N=%d, TIDS=%.0f s, %v attacker):\n",
+		t.Config.N, t.Config.TIDS, t.Config.Attacker); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %14s %18s %8s %8s\n",
+		"protocol", "MTTSF(s)", "Ctotal(hopb/s)", "P(C1)", "P(C2)"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%-24s %14.5g %18.6g %8.3f %8.3f\n",
+			r.Protocol, r.MTTSF, r.Ctotal, r.ProbC1, r.ProbC2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check validates the expected ordering: voting beats every alternative,
+// and every IDS beats no defense, on MTTSF.
+func (t *BaselineTable) Check() CheckResult {
+	res := CheckResult{Figure: "Baselines"}
+	if len(t.Rows) != 4 {
+		res.Violations = append(res.Violations, fmt.Sprintf("expected 4 rows, got %d", len(t.Rows)))
+		return res
+	}
+	none, host, ch, vote := t.Rows[0], t.Rows[1], t.Rows[2], t.Rows[3]
+	for _, alt := range []BaselineRow{none, host, ch} {
+		if !(vote.MTTSF > alt.MTTSF) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("voting MTTSF (%.3g) does not beat %s (%.3g)", vote.MTTSF, alt.Protocol, alt.MTTSF))
+		}
+	}
+	if !(host.MTTSF > none.MTTSF) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("host-only MTTSF (%.3g) does not beat no-IDS (%.3g)", host.MTTSF, none.MTTSF))
+	}
+	return res
+}

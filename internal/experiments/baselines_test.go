@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBaselinesOrdering(t *testing.T) {
+	table, err := Baselines(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if res := table.Check(); !res.OK() {
+		t.Errorf("baseline ordering violated: %v", res.Violations)
+	}
+	// The undefended group must fail essentially as soon as the
+	// compromise-leak race plays out, orders of magnitude earlier than
+	// the defended one.
+	none, vote := table.Rows[0], table.Rows[3]
+	if vote.MTTSF < 3*none.MTTSF {
+		t.Errorf("voting IDS gains only %.1fx over no defense", vote.MTTSF/none.MTTSF)
+	}
+	// Without detection there are no false evictions, so the undefended
+	// group cannot be depleted by the IDS and fails by C1 or C2 directly.
+	if none.ProbC1+none.ProbC2 < 0.999 {
+		t.Errorf("undefended failure probabilities sum to %v", none.ProbC1+none.ProbC2)
+	}
+}
+
+func TestBaselinesValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.M = 1
+	if _, err := Baselines(cfg); err == nil {
+		t.Error("M=1 config accepted for a baseline comparison")
+	}
+}
+
+func TestBaselinesWriteTable(t *testing.T) {
+	table, err := Baselines(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := table.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"no IDS", "host-based IDS (m=1)", "cluster-head IDS", "voting IDS (m=5)", "MTTSF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselinesCheckCatchesInversion(t *testing.T) {
+	table := &BaselineTable{Rows: []BaselineRow{
+		{Protocol: "no IDS", MTTSF: 100},
+		{Protocol: "host", MTTSF: 50}, // worse than undefended: wrong
+		{Protocol: "cluster-head", MTTSF: 60},
+		{Protocol: "voting", MTTSF: 200},
+	}}
+	if res := table.Check(); res.OK() {
+		t.Error("inverted ordering not caught")
+	}
+	empty := &BaselineTable{}
+	if res := empty.Check(); res.OK() {
+		t.Error("empty table not caught")
+	}
+}

@@ -1,0 +1,265 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 5) as printable data series, and provides the shape checks that
+// EXPERIMENTS.md records: the reproduction targets the qualitative
+// structure of each figure (who wins, where optima and crossovers fall),
+// not the authors' absolute testbed numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/shapes"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64 // TIDS values (s)
+	Y     []float64 // metric values
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string // "Figure 2" ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Fig2Grid is the TIDS grid of Figure 2 (and 4).
+var Fig2Grid = []float64{5, 15, 30, 60, 120, 240, 480, 600, 1200}
+
+// Fig3Grid is the TIDS grid of Figure 3 (the paper plots cost from 30 s).
+var Fig3Grid = []float64{30, 60, 120, 240, 480, 600, 1200}
+
+// Fig5Grid is the TIDS grid of Figure 5 (cost plotted from 15 s).
+var Fig5Grid = []float64{15, 30, 60, 120, 240, 480, 600, 1200}
+
+// Figure2 regenerates "Effect of m on MTTSF and Optimal TIDS": MTTSF
+// versus TIDS for m in {3,5,7,9} under linear attacker and detection.
+func Figure2(cfg core.Config) (*Figure, error) {
+	cfg.Attacker = shapes.Linear
+	cfg.Detection = shapes.Linear
+	fig := &Figure{
+		ID:     "Figure 2",
+		Title:  "Effect of m on MTTSF and Optimal TIDS (linear attacker, linear detection)",
+		XLabel: "TIDS (s)",
+		YLabel: "MTTSF (s)",
+	}
+	for _, m := range core.PaperMGrid {
+		c := cfg
+		c.M = m
+		points, err := core.SweepTIDS(c, Fig2Grid)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 2 m=%d: %w", m, err)
+		}
+		s := Series{Label: fmt.Sprintf("m=%d", m)}
+		for _, p := range points {
+			s.X = append(s.X, p.TIDS)
+			s.Y = append(s.Y, p.Result.MTTSF)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure3 regenerates "Effect of m on Ĉtotal and Optimal TIDS".
+func Figure3(cfg core.Config) (*Figure, error) {
+	cfg.Attacker = shapes.Linear
+	cfg.Detection = shapes.Linear
+	fig := &Figure{
+		ID:     "Figure 3",
+		Title:  "Effect of m on Ctotal and Optimal TIDS (linear attacker, linear detection)",
+		XLabel: "TIDS (s)",
+		YLabel: "Ctotal (hop·bits/s)",
+	}
+	for _, m := range core.PaperMGrid {
+		c := cfg
+		c.M = m
+		points, err := core.SweepTIDS(c, Fig3Grid)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 3 m=%d: %w", m, err)
+		}
+		s := Series{Label: fmt.Sprintf("m=%d", m)}
+		for _, p := range points {
+			s.X = append(s.X, p.TIDS)
+			s.Y = append(s.Y, p.Result.Ctotal)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure4 regenerates "Effect of TIDS on MTTSF with respect to D(md) under
+// linear time attackers when m = 5".
+func Figure4(cfg core.Config) (*Figure, error) {
+	cfg.Attacker = shapes.Linear
+	cfg.M = 5
+	cmp, err := core.CompareDetections(cfg, Fig2Grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 4: %w", err)
+	}
+	fig := &Figure{
+		ID:     "Figure 4",
+		Title:  "Effect of TIDS on MTTSF by detection function (linear attacker, m=5)",
+		XLabel: "TIDS (s)",
+		YLabel: "MTTSF (s)",
+	}
+	for _, kind := range shapes.Kinds() {
+		s := Series{Label: kind.String() + " detection"}
+		for _, p := range cmp.Series[kind] {
+			s.X = append(s.X, p.TIDS)
+			s.Y = append(s.Y, p.Result.MTTSF)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure5 regenerates "Effect of TIDS on Ĉtotal with respect to D(md)
+// under linear time attackers when m = 5".
+func Figure5(cfg core.Config) (*Figure, error) {
+	cfg.Attacker = shapes.Linear
+	cfg.M = 5
+	cmp, err := core.CompareDetections(cfg, Fig5Grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 5: %w", err)
+	}
+	fig := &Figure{
+		ID:     "Figure 5",
+		Title:  "Effect of TIDS on Ctotal by detection function (linear attacker, m=5)",
+		XLabel: "TIDS (s)",
+		YLabel: "Ctotal (hop·bits/s)",
+	}
+	for _, kind := range shapes.Kinds() {
+		s := Series{Label: kind.String() + " detection"}
+		for _, p := range cmp.Series[kind] {
+			s.X = append(s.X, p.TIDS)
+			s.Y = append(s.Y, p.Result.Ctotal)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// All regenerates every figure of the evaluation.
+func All(cfg core.Config) ([]*Figure, error) {
+	fig2, err := Figure2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig3, err := Figure3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig4, err := Figure4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig5, err := Figure5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Figure{fig2, fig3, fig4, fig5}, nil
+}
+
+// WriteTable renders the figure as an aligned text table: one row per TIDS
+// value, one column per series.
+func (f *Figure) WriteTable(w io.Writer) error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("experiments: figure %s has no series", f.ID)
+	}
+	if _, err := fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%12s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf(" %22s", s.Label)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i := range f.Series[0].X {
+		row := fmt.Sprintf("%12.0f", f.Series[0].X[i])
+		for _, s := range f.Series {
+			row += fmt.Sprintf(" %22.6g", s.Y[i])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "(values: %s)\n", f.YLabel)
+	return err
+}
+
+// WriteCSV renders the figure as CSV with a header row.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("experiments: figure %s has no series", f.ID)
+	}
+	cols := []string{"tids_s"}
+	for _, s := range f.Series {
+		cols = append(cols, strings.ReplaceAll(s.Label, " ", "_"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range f.Series[0].X {
+		row := fmt.Sprintf("%g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			row += fmt.Sprintf(",%g", s.Y[i])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ArgMax returns the X of the maximum Y in the series.
+func (s Series) ArgMax() float64 {
+	best := 0
+	for i := range s.Y {
+		if s.Y[i] > s.Y[best] {
+			best = i
+		}
+	}
+	return s.X[best]
+}
+
+// ArgMin returns the X of the minimum Y in the series.
+func (s Series) ArgMin() float64 {
+	best := 0
+	for i := range s.Y {
+		if s.Y[i] < s.Y[best] {
+			best = i
+		}
+	}
+	return s.X[best]
+}
+
+// Max returns the maximum Y.
+func (s Series) Max() float64 {
+	m := s.Y[0]
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Min returns the minimum Y.
+func (s Series) Min() float64 {
+	m := s.Y[0]
+	for _, y := range s.Y {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}

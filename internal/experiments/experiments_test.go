@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testConfig downsizes the model so the full figure suite runs in seconds.
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.N = 30
+	return cfg
+}
+
+func TestFigure2ShapeClaims(t *testing.T) {
+	fig, err := Figure2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (m grid)", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(Fig2Grid) || len(s.Y) != len(Fig2Grid) {
+			t.Fatalf("series %s has %d points", s.Label, len(s.X))
+		}
+	}
+	res := CheckFigure2(fig)
+	if !res.OK() {
+		t.Errorf("figure 2 claims violated: %v", res.Violations)
+	}
+}
+
+func TestFigure3ShapeClaims(t *testing.T) {
+	fig, err := Figure3(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckFigure3(fig)
+	if !res.OK() {
+		t.Errorf("figure 3 claims violated: %v", res.Violations)
+	}
+}
+
+func TestFigure4ShapeClaims(t *testing.T) {
+	fig, err := Figure4(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3 (detection kinds)", len(fig.Series))
+	}
+	res := CheckFigure4(fig)
+	if !res.OK() {
+		t.Errorf("figure 4 claims violated: %v", res.Violations)
+	}
+}
+
+func TestFigure5ShapeClaims(t *testing.T) {
+	fig, err := Figure5(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckFigure5(fig)
+	if !res.OK() {
+		t.Errorf("figure 5 claims violated: %v", res.Violations)
+	}
+}
+
+func TestAllProducesFourFigures(t *testing.T) {
+	figs, err := All(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("All returned %d figures", len(figs))
+	}
+	want := []string{"Figure 2", "Figure 3", "Figure 4", "Figure 5"}
+	for i, f := range figs {
+		if f.ID != want[i] {
+			t.Errorf("figure %d ID = %s, want %s", i, f.ID, want[i])
+		}
+	}
+	checks := CheckAll(figs)
+	if len(checks) != 4 {
+		t.Fatalf("CheckAll returned %d results", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK() {
+			t.Errorf("%s", c)
+		}
+		if c.String() == "" {
+			t.Error("empty check string")
+		}
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "Figure X", Title: "test", XLabel: "TIDS (s)", YLabel: "MTTSF (s)",
+		Series: []Series{
+			{Label: "m=3", X: []float64{5, 10}, Y: []float64{1, 2}},
+			{Label: "m=5", X: []float64{5, 10}, Y: []float64{3, 4}},
+		},
+	}
+	var tbl bytes.Buffer
+	if err := fig.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"Figure X", "m=3", "m=5", "5", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "tids_s,m=3,m=5" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "5,1,3" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+	empty := &Figure{ID: "E"}
+	if err := empty.WriteTable(&tbl); err == nil {
+		t.Error("empty figure table accepted")
+	}
+	if err := empty.WriteCSV(&csv); err == nil {
+		t.Error("empty figure CSV accepted")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{X: []float64{1, 2, 3}, Y: []float64{5, 9, 2}}
+	if s.ArgMax() != 2 || s.ArgMin() != 3 {
+		t.Errorf("ArgMax=%v ArgMin=%v", s.ArgMax(), s.ArgMin())
+	}
+	if s.Max() != 9 || s.Min() != 2 {
+		t.Errorf("Max=%v Min=%v", s.Max(), s.Min())
+	}
+}
+
+func TestCheckersCatchViolations(t *testing.T) {
+	// A fabricated figure violating figure 2's monotonicity in m.
+	fig := &Figure{
+		ID: "Figure 2",
+		Series: []Series{
+			{Label: "m=3", X: []float64{5, 10, 20}, Y: []float64{1, 5, 1}},
+			{Label: "m=5", X: []float64{5, 10, 20}, Y: []float64{0.5, 2, 0.5}}, // lower peak
+		},
+	}
+	if res := CheckFigure2(fig); res.OK() {
+		t.Error("peak regression not caught")
+	}
+	// Figure 4 with poly dominating at small TIDS.
+	fig4 := &Figure{
+		ID: "Figure 4",
+		Series: []Series{
+			{Label: "logarithmic detection", X: []float64{5, 1200}, Y: []float64{1, 2}},
+			{Label: "linear detection", X: []float64{5, 1200}, Y: []float64{2, 2}},
+			{Label: "polynomial detection", X: []float64{5, 1200}, Y: []float64{3, 1}},
+		},
+	}
+	res := CheckFigure4(fig4)
+	if res.OK() {
+		t.Error("figure 4 violations not caught")
+	}
+	// Missing series.
+	if res := CheckFigure4(&Figure{ID: "Figure 4"}); res.OK() {
+		t.Error("missing series not caught")
+	}
+	if res := CheckFigure5(&Figure{ID: "Figure 5"}); res.OK() {
+		t.Error("missing series not caught (fig 5)")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPaperScaleFigure2Optima pins the headline reproduction result at the
+// paper's full N=100 scale: the optimal detection interval read off Figure
+// 2 is exactly 480, 60, 15, and 5 seconds for m = 3, 5, 7, 9 — the same
+// grid points the paper reports ("optimal TIDS = 480, 60, 15, and 5 s for
+// m = 3, 5, 7, and 9 respectively", Section 5).
+func TestPaperScaleFigure2Optima(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale N=100 sweep in -short mode")
+	}
+	fig, err := Figure2(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"m=3": 480,
+		"m=5": 60,
+		"m=7": 15,
+		"m=9": 5,
+	}
+	for _, s := range fig.Series {
+		if got := s.ArgMax(); got != want[s.Label] {
+			t.Errorf("%s: optimal TIDS %.0f s, paper reports %.0f s", s.Label, got, want[s.Label])
+		}
+	}
+	if res := CheckFigure2(fig); !res.OK() {
+		t.Errorf("full-scale shape claims violated: %v", res.Violations)
+	}
+}
+
+// TestPaperScaleMagnitudes pins the metric magnitudes to the paper's axis
+// bands at full scale: MTTSF peaks of 1e5-1e7 s (Figure 2 axis tops at
+// 5e6) and Ĉtotal within 1e5-2e6 hop·bits/s (Figure 3 axis).
+func TestPaperScaleMagnitudes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale evaluation in -short mode")
+	}
+	res, err := core.Analyze(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTTSF < 1e5 || res.MTTSF > 1e7 {
+		t.Errorf("N=100 MTTSF = %.3g s, outside the paper's band", res.MTTSF)
+	}
+	if res.Ctotal < 1e5 || res.Ctotal > 2e6 {
+		t.Errorf("N=100 Ctotal = %.3g hop·bits/s, outside the paper's band", res.Ctotal)
+	}
+	// The protocol must not saturate the 1 Mb/s channel at the default
+	// operating point (the timeliness requirement).
+	if res.Utilization >= 1 {
+		t.Errorf("channel utilization %.2f >= 1", res.Utilization)
+	}
+}

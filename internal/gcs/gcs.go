@@ -1,0 +1,223 @@
+// Package gcs implements the secure group communication system substrate:
+// membership views, view-synchronous (reliable, totally ordered within a
+// view) message delivery, join/leave/eviction processing, and group-key
+// epochs driven by GDH rekeying. It realizes the system model of Section 3
+// of the paper:
+//
+//   - members share a symmetric group key established contributively,
+//   - every membership change (join, voluntary leave, IDS eviction) forces
+//     a rekey to preserve forward and backward secrecy,
+//   - evicted members can never rejoin (no recovery mechanism),
+//   - view synchrony guarantees messages are delivered reliably and in
+//     order within a membership view.
+package gcs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemberStatus tracks the lifecycle of a node with respect to the group.
+type MemberStatus int
+
+const (
+	// StatusTrusted marks an active member believed healthy.
+	StatusTrusted MemberStatus = iota
+	// StatusCompromised marks an active member that has been compromised
+	// but not yet detected (known to the attacker model, not the system).
+	StatusCompromised
+	// StatusEvicted marks a node removed by IDS; it can never rejoin.
+	StatusEvicted
+	// StatusLeft marks a node that departed voluntarily; it may rejoin.
+	StatusLeft
+)
+
+// String implements fmt.Stringer.
+func (s MemberStatus) String() string {
+	switch s {
+	case StatusTrusted:
+		return "trusted"
+	case StatusCompromised:
+		return "compromised"
+	case StatusEvicted:
+		return "evicted"
+	case StatusLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("MemberStatus(%d)", int(s))
+	}
+}
+
+// ChangeKind labels a membership change event.
+type ChangeKind int
+
+const (
+	// ChangeJoin is a node joining the group.
+	ChangeJoin ChangeKind = iota
+	// ChangeLeave is a voluntary departure.
+	ChangeLeave
+	// ChangeEviction is a forced removal decided by voting-based IDS.
+	ChangeEviction
+)
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeJoin:
+		return "join"
+	case ChangeLeave:
+		return "leave"
+	case ChangeEviction:
+		return "eviction"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// ViewChange records one membership transition.
+type ViewChange struct {
+	Kind   ChangeKind
+	Node   int
+	ViewID uint64 // the view installed by this change
+	Epoch  uint64 // the key epoch installed by this change
+}
+
+// Group is the membership and key-epoch state machine of one mobile group.
+type Group struct {
+	members map[int]MemberStatus
+	viewID  uint64
+	epoch   uint64
+	history []ViewChange
+	// rekeys counts rekey operations (== epoch, kept separate for
+	// clarity in tests).
+	rekeys uint64
+}
+
+// New creates a group with the given initial member IDs, all trusted, in
+// view 1 / epoch 1 (the initial key agreement counts as the first rekey).
+func New(initialMembers []int) (*Group, error) {
+	g := &Group{members: make(map[int]MemberStatus)}
+	for _, id := range initialMembers {
+		if _, dup := g.members[id]; dup {
+			return nil, fmt.Errorf("gcs: duplicate initial member %d", id)
+		}
+		g.members[id] = StatusTrusted
+	}
+	g.viewID = 1
+	g.epoch = 1
+	g.rekeys = 1
+	return g, nil
+}
+
+// Size returns the number of active members (trusted + undetected
+// compromised).
+func (g *Group) Size() int {
+	n := 0
+	for _, st := range g.members {
+		if st == StatusTrusted || st == StatusCompromised {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByStatus returns the number of nodes with the given status.
+func (g *Group) CountByStatus(s MemberStatus) int {
+	n := 0
+	for _, st := range g.members {
+		if st == s {
+			n++
+		}
+	}
+	return n
+}
+
+// ViewID returns the current membership view identifier.
+func (g *Group) ViewID() uint64 { return g.viewID }
+
+// Epoch returns the current key epoch; it increments on every rekey.
+func (g *Group) Epoch() uint64 { return g.epoch }
+
+// Rekeys returns the number of rekey operations performed, including the
+// initial key agreement.
+func (g *Group) Rekeys() uint64 { return g.rekeys }
+
+// Status returns the status of a node and whether it is known.
+func (g *Group) Status(node int) (MemberStatus, bool) {
+	s, ok := g.members[node]
+	return s, ok
+}
+
+// Members returns the sorted IDs of active members.
+func (g *Group) Members() []int {
+	out := make([]int, 0, len(g.members))
+	for id, st := range g.members {
+		if st == StatusTrusted || st == StatusCompromised {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// History returns a copy of the view-change log.
+func (g *Group) History() []ViewChange {
+	out := make([]ViewChange, len(g.history))
+	copy(out, g.history)
+	return out
+}
+
+func (g *Group) installView(kind ChangeKind, node int) ViewChange {
+	g.viewID++
+	g.epoch++
+	g.rekeys++
+	vc := ViewChange{Kind: kind, Node: node, ViewID: g.viewID, Epoch: g.epoch}
+	g.history = append(g.history, vc)
+	return vc
+}
+
+// Join admits a node. Evicted nodes are permanently banned; active members
+// cannot rejoin. The join triggers a rekey (backward secrecy).
+func (g *Group) Join(node int) (ViewChange, error) {
+	switch st, ok := g.members[node]; {
+	case ok && st == StatusEvicted:
+		return ViewChange{}, fmt.Errorf("gcs: node %d was evicted and cannot rejoin", node)
+	case ok && (st == StatusTrusted || st == StatusCompromised):
+		return ViewChange{}, fmt.Errorf("gcs: node %d is already a member", node)
+	}
+	g.members[node] = StatusTrusted
+	return g.installView(ChangeJoin, node), nil
+}
+
+// Leave removes a voluntarily departing member and rekeys (forward
+// secrecy).
+func (g *Group) Leave(node int) (ViewChange, error) {
+	st, ok := g.members[node]
+	if !ok || (st != StatusTrusted && st != StatusCompromised) {
+		return ViewChange{}, fmt.Errorf("gcs: node %d is not an active member", node)
+	}
+	g.members[node] = StatusLeft
+	return g.installView(ChangeLeave, node), nil
+}
+
+// Evict forcibly removes a member after an IDS verdict and rekeys. The
+// node is banned forever.
+func (g *Group) Evict(node int) (ViewChange, error) {
+	st, ok := g.members[node]
+	if !ok || (st != StatusTrusted && st != StatusCompromised) {
+		return ViewChange{}, fmt.Errorf("gcs: node %d is not an active member", node)
+	}
+	g.members[node] = StatusEvicted
+	return g.installView(ChangeEviction, node), nil
+}
+
+// Compromise marks an active trusted member as compromised (invoked by the
+// attacker model; invisible to the group's own bookkeeping of views/keys).
+func (g *Group) Compromise(node int) error {
+	st, ok := g.members[node]
+	if !ok || st != StatusTrusted {
+		return fmt.Errorf("gcs: node %d is not a trusted member", node)
+	}
+	g.members[node] = StatusCompromised
+	return nil
+}

@@ -1,0 +1,256 @@
+package gcs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newGroup(t *testing.T, n int) *Group {
+	t.Helper()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	g, err := New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroupInitialState(t *testing.T) {
+	g := newGroup(t, 10)
+	if g.Size() != 10 {
+		t.Errorf("Size = %d, want 10", g.Size())
+	}
+	if g.ViewID() != 1 || g.Epoch() != 1 || g.Rekeys() != 1 {
+		t.Errorf("initial view/epoch/rekeys = %d/%d/%d, want 1/1/1", g.ViewID(), g.Epoch(), g.Rekeys())
+	}
+	if got := g.CountByStatus(StatusTrusted); got != 10 {
+		t.Errorf("trusted = %d, want 10", got)
+	}
+}
+
+func TestNewGroupRejectsDuplicates(t *testing.T) {
+	if _, err := New([]int{1, 2, 1}); err == nil {
+		t.Fatal("duplicate members accepted")
+	}
+}
+
+func TestJoinLeaveEvict(t *testing.T) {
+	g := newGroup(t, 3)
+	vc, err := g.Join(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Kind != ChangeJoin || vc.ViewID != 2 || vc.Epoch != 2 {
+		t.Errorf("join change = %+v", vc)
+	}
+	if g.Size() != 4 {
+		t.Errorf("Size = %d, want 4", g.Size())
+	}
+	if _, err := g.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Errorf("Size after leave = %d", g.Size())
+	}
+	if _, err := g.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Errorf("Size after evict = %d", g.Size())
+	}
+	if g.Rekeys() != 4 {
+		t.Errorf("Rekeys = %d, want 4 (init + 3 changes)", g.Rekeys())
+	}
+}
+
+func TestEveryMembershipChangeRekeys(t *testing.T) {
+	// Forward/backward secrecy: epoch must increment on each change.
+	g := newGroup(t, 5)
+	ops := []func() (ViewChange, error){
+		func() (ViewChange, error) { return g.Join(100) },
+		func() (ViewChange, error) { return g.Leave(0) },
+		func() (ViewChange, error) { return g.Evict(1) },
+		func() (ViewChange, error) { return g.Join(101) },
+	}
+	prev := g.Epoch()
+	for i, op := range ops {
+		if _, err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if g.Epoch() != prev+1 {
+			t.Fatalf("op %d: epoch %d, want %d", i, g.Epoch(), prev+1)
+		}
+		prev = g.Epoch()
+	}
+}
+
+func TestEvictedCannotRejoin(t *testing.T) {
+	g := newGroup(t, 3)
+	if _, err := g.Evict(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Join(2); err == nil {
+		t.Fatal("evicted node rejoined")
+	}
+}
+
+func TestLeftCanRejoin(t *testing.T) {
+	g := newGroup(t, 3)
+	if _, err := g.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Join(2); err != nil {
+		t.Fatalf("voluntary leaver blocked from rejoining: %v", err)
+	}
+}
+
+func TestActiveMemberCannotJoinAgain(t *testing.T) {
+	g := newGroup(t, 3)
+	if _, err := g.Join(1); err == nil {
+		t.Fatal("double join accepted")
+	}
+}
+
+func TestLeaveEvictNonMember(t *testing.T) {
+	g := newGroup(t, 3)
+	if _, err := g.Leave(99); err == nil {
+		t.Error("leave of unknown node accepted")
+	}
+	if _, err := g.Evict(99); err == nil {
+		t.Error("evict of unknown node accepted")
+	}
+	g.Leave(0)
+	if _, err := g.Leave(0); err == nil {
+		t.Error("double leave accepted")
+	}
+	if _, err := g.Evict(0); err == nil {
+		t.Error("evicting a departed node accepted")
+	}
+}
+
+func TestCompromiseBookkeeping(t *testing.T) {
+	g := newGroup(t, 4)
+	if err := g.Compromise(1); err != nil {
+		t.Fatal(err)
+	}
+	// Compromise is attacker-side: no rekey, no view change.
+	if g.Epoch() != 1 || g.ViewID() != 1 {
+		t.Error("compromise must not rekey")
+	}
+	if g.CountByStatus(StatusCompromised) != 1 || g.CountByStatus(StatusTrusted) != 3 {
+		t.Error("status counts wrong after compromise")
+	}
+	// Compromised member still counts as active and can be evicted.
+	if g.Size() != 4 {
+		t.Errorf("Size = %d, want 4", g.Size())
+	}
+	if err := g.Compromise(1); err == nil {
+		t.Error("double compromise accepted")
+	}
+	if err := g.Compromise(77); err == nil {
+		t.Error("compromise of unknown node accepted")
+	}
+	if _, err := g.Evict(1); err != nil {
+		t.Fatalf("evicting compromised member: %v", err)
+	}
+}
+
+func TestCompromisedMemberCanSendAndLeave(t *testing.T) {
+	g := newGroup(t, 3)
+	g.Compromise(0)
+	vs := NewViewSync(g)
+	if _, err := vs.Send(0, "insider data request"); err != nil {
+		t.Fatalf("undetected compromised member blocked from sending: %v", err)
+	}
+	if _, err := g.Leave(0); err != nil {
+		t.Fatalf("compromised member blocked from leaving: %v", err)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	g, err := New([]int{5, 3, 9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Members()
+	want := []int{1, 3, 5, 9}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestHistoryRecordsChanges(t *testing.T) {
+	g := newGroup(t, 2)
+	g.Join(10)
+	g.Leave(0)
+	h := g.History()
+	if len(h) != 2 {
+		t.Fatalf("history length %d, want 2", len(h))
+	}
+	if h[0].Kind != ChangeJoin || h[0].Node != 10 {
+		t.Errorf("h[0] = %+v", h[0])
+	}
+	if h[1].Kind != ChangeLeave || h[1].Node != 0 {
+		t.Errorf("h[1] = %+v", h[1])
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusTrusted.String() != "trusted" || StatusCompromised.String() != "compromised" ||
+		StatusEvicted.String() != "evicted" || StatusLeft.String() != "left" {
+		t.Error("MemberStatus strings wrong")
+	}
+	if ChangeJoin.String() != "join" || ChangeLeave.String() != "leave" || ChangeEviction.String() != "eviction" {
+		t.Error("ChangeKind strings wrong")
+	}
+	if MemberStatus(9).String() == "" || ChangeKind(9).String() == "" {
+		t.Error("unknown enum Strings empty")
+	}
+}
+
+func TestSizeInvariantProperty(t *testing.T) {
+	// Random op sequences: Size always equals trusted + compromised, and
+	// epoch equals 1 + number of successful membership changes.
+	f := func(ops []uint8) bool {
+		g, err := New([]int{0, 1, 2, 3, 4})
+		if err != nil {
+			return false
+		}
+		changes := uint64(0)
+		nextID := 5
+		for _, op := range ops {
+			var err error
+			switch op % 4 {
+			case 0:
+				_, err = g.Join(nextID)
+				nextID++
+			case 1:
+				_, err = g.Leave(int(op) % nextID)
+			case 2:
+				_, err = g.Evict(int(op) % nextID)
+			case 3:
+				err = g.Compromise(int(op) % nextID)
+				if err == nil {
+					// not a membership change
+					continue
+				}
+				continue
+			}
+			if err == nil {
+				changes++
+			}
+			if g.Size() != g.CountByStatus(StatusTrusted)+g.CountByStatus(StatusCompromised) {
+				return false
+			}
+		}
+		return g.Epoch() == 1+changes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package gcs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Message is a group message stamped with the view it was sent in and a
+// view-local sequence number assigned by the total-order layer.
+type Message struct {
+	ViewID  uint64
+	Seq     uint64
+	Sender  int
+	Payload string
+}
+
+// Delivery is a message delivered to one member.
+type Delivery struct {
+	Member int
+	Msg    Message
+}
+
+// ViewSync is a simulation-grade view-synchronous total-order multicast
+// layer: messages sent within a view are delivered to every member of that
+// view, in the same total order, before the next view is installed. It
+// models the VS guarantee the paper assumes ("messages are guaranteed to be
+// delivered reliably and in order") without a network: ordering is
+// sequenced centrally, as a token-based or sequencer-based VS stack would.
+type ViewSync struct {
+	group   *Group
+	nextSeq uint64
+	pending []Message
+	log     []Delivery
+	// delivered[member] = count of messages delivered, for the
+	// same-order invariant checks in tests.
+	delivered map[int][]Message
+}
+
+// NewViewSync attaches a VS layer to a group.
+func NewViewSync(g *Group) *ViewSync {
+	return &ViewSync{group: g, delivered: make(map[int][]Message)}
+}
+
+// Send multicasts a payload from an active member within the current view.
+// The message is sequenced immediately and buffered until Flush.
+func (v *ViewSync) Send(sender int, payload string) (Message, error) {
+	st, ok := v.group.Status(sender)
+	if !ok || (st != StatusTrusted && st != StatusCompromised) {
+		return Message{}, fmt.Errorf("gcs: sender %d is not an active member", sender)
+	}
+	v.nextSeq++
+	m := Message{ViewID: v.group.ViewID(), Seq: v.nextSeq, Sender: sender, Payload: payload}
+	v.pending = append(v.pending, m)
+	return m, nil
+}
+
+// Flush delivers all pending messages of the current view to every active
+// member in sequence order. View synchrony requires a flush before any view
+// change; InstallView calls it implicitly.
+func (v *ViewSync) Flush() []Delivery {
+	sort.Slice(v.pending, func(i, j int) bool { return v.pending[i].Seq < v.pending[j].Seq })
+	members := v.group.Members()
+	var out []Delivery
+	for _, m := range v.pending {
+		for _, member := range members {
+			d := Delivery{Member: member, Msg: m}
+			out = append(out, d)
+			v.log = append(v.log, d)
+			v.delivered[member] = append(v.delivered[member], m)
+		}
+	}
+	v.pending = v.pending[:0]
+	return out
+}
+
+// InstallView applies a membership change through the VS layer: it first
+// flushes the current view's messages (the VS "safe delivery" barrier) and
+// then performs the change on the group.
+func (v *ViewSync) InstallView(kind ChangeKind, node int) (ViewChange, error) {
+	v.Flush()
+	switch kind {
+	case ChangeJoin:
+		return v.group.Join(node)
+	case ChangeLeave:
+		return v.group.Leave(node)
+	case ChangeEviction:
+		return v.group.Evict(node)
+	default:
+		return ViewChange{}, fmt.Errorf("gcs: unknown change kind %d", int(kind))
+	}
+}
+
+// DeliveredTo returns the messages delivered to a member in order.
+func (v *ViewSync) DeliveredTo(member int) []Message {
+	msgs := v.delivered[member]
+	out := make([]Message, len(msgs))
+	copy(out, msgs)
+	return out
+}
+
+// Log returns the full delivery log.
+func (v *ViewSync) Log() []Delivery {
+	out := make([]Delivery, len(v.log))
+	copy(out, v.log)
+	return out
+}
+
+// CheckViewSynchrony verifies the two core invariants over the delivery
+// log and returns an error describing the first violation:
+//
+//  1. Total order: any two members that both delivered messages a and b
+//     delivered them in the same relative order.
+//  2. View inclusion: every message was delivered only to members, and
+//     carries the view it was sequenced in.
+func (v *ViewSync) CheckViewSynchrony() error {
+	// Total order: because delivery order per member is append-only, it
+	// suffices to check each member's sequence numbers are increasing.
+	for member, msgs := range v.delivered {
+		for i := 1; i < len(msgs); i++ {
+			if msgs[i].Seq <= msgs[i-1].Seq {
+				return fmt.Errorf("gcs: member %d delivered seq %d after %d",
+					member, msgs[i].Seq, msgs[i-1].Seq)
+			}
+		}
+	}
+	// Same set per view: group deliveries of one message must agree.
+	byMsg := make(map[uint64][]int)
+	for _, d := range v.log {
+		byMsg[d.Msg.Seq] = append(byMsg[d.Msg.Seq], d.Member)
+	}
+	byView := make(map[uint64]map[uint64][]int) // view -> seq -> members
+	for _, d := range v.log {
+		if byView[d.Msg.ViewID] == nil {
+			byView[d.Msg.ViewID] = make(map[uint64][]int)
+		}
+		byView[d.Msg.ViewID][d.Msg.Seq] = byMsg[d.Msg.Seq]
+	}
+	for view, msgs := range byView {
+		var ref []int
+		var refSeq uint64
+		for seq, members := range msgs {
+			sorted := append([]int(nil), members...)
+			sort.Ints(sorted)
+			if ref == nil {
+				ref, refSeq = sorted, seq
+				continue
+			}
+			if len(sorted) != len(ref) {
+				return fmt.Errorf("gcs: view %d: messages %d and %d delivered to different member sets",
+					view, refSeq, seq)
+			}
+			for i := range ref {
+				if sorted[i] != ref[i] {
+					return fmt.Errorf("gcs: view %d: messages %d and %d delivered to different member sets",
+						view, refSeq, seq)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package gcs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSendDeliversToAllMembers(t *testing.T) {
+	g := newGroup(t, 3)
+	vs := NewViewSync(g)
+	if _, err := vs.Send(0, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	ds := vs.Flush()
+	if len(ds) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(ds))
+	}
+	for _, d := range ds {
+		if d.Msg.Payload != "hello" || d.Msg.Sender != 0 {
+			t.Errorf("bad delivery %+v", d)
+		}
+	}
+}
+
+func TestSendFromNonMemberRejected(t *testing.T) {
+	g := newGroup(t, 2)
+	vs := NewViewSync(g)
+	if _, err := vs.Send(55, "x"); err == nil {
+		t.Fatal("non-member send accepted")
+	}
+	g.Evict(1)
+	if _, err := vs.Send(1, "x"); err == nil {
+		t.Fatal("evicted member send accepted")
+	}
+}
+
+func TestTotalOrderAcrossMembers(t *testing.T) {
+	g := newGroup(t, 4)
+	vs := NewViewSync(g)
+	for i := 0; i < 20; i++ {
+		if _, err := vs.Send(i%4, fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs.Flush()
+	ref := vs.DeliveredTo(0)
+	for member := 1; member < 4; member++ {
+		msgs := vs.DeliveredTo(member)
+		if len(msgs) != len(ref) {
+			t.Fatalf("member %d delivered %d msgs, member 0 delivered %d", member, len(msgs), len(ref))
+		}
+		for i := range ref {
+			if msgs[i].Seq != ref[i].Seq {
+				t.Fatalf("member %d order diverges at %d", member, i)
+			}
+		}
+	}
+	if err := vs.CheckViewSynchrony(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewChangeFlushesFirst(t *testing.T) {
+	// A message sent before a join must be delivered only to the old
+	// view's members (VS barrier), not to the joiner.
+	g := newGroup(t, 2)
+	vs := NewViewSync(g)
+	vs.Send(0, "before-join")
+	if _, err := vs.InstallView(ChangeJoin, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(vs.DeliveredTo(10)); got != 0 {
+		t.Fatalf("joiner received %d pre-join messages", got)
+	}
+	if got := len(vs.DeliveredTo(0)); got != 1 {
+		t.Fatalf("old member received %d messages, want 1", got)
+	}
+	// A message sent after the join reaches the joiner.
+	vs.Send(0, "after-join")
+	vs.Flush()
+	if got := len(vs.DeliveredTo(10)); got != 1 {
+		t.Fatalf("joiner received %d post-join messages, want 1", got)
+	}
+	if err := vs.CheckViewSynchrony(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionBarredFromFutureTraffic(t *testing.T) {
+	g := newGroup(t, 3)
+	vs := NewViewSync(g)
+	if _, err := vs.InstallView(ChangeEviction, 2); err != nil {
+		t.Fatal(err)
+	}
+	vs.Send(0, "secret")
+	vs.Flush()
+	if got := len(vs.DeliveredTo(2)); got != 0 {
+		t.Fatalf("evicted node received %d messages", got)
+	}
+}
+
+func TestInstallViewUnknownKind(t *testing.T) {
+	g := newGroup(t, 2)
+	vs := NewViewSync(g)
+	if _, err := vs.InstallView(ChangeKind(42), 0); err == nil {
+		t.Fatal("unknown change kind accepted")
+	}
+}
+
+func TestMessagesCarryCurrentView(t *testing.T) {
+	g := newGroup(t, 2)
+	vs := NewViewSync(g)
+	m1, _ := vs.Send(0, "v1")
+	if m1.ViewID != 1 {
+		t.Errorf("msg view = %d, want 1", m1.ViewID)
+	}
+	vs.InstallView(ChangeJoin, 5)
+	m2, _ := vs.Send(0, "v2")
+	if m2.ViewID != 2 {
+		t.Errorf("msg view = %d, want 2", m2.ViewID)
+	}
+}
+
+func TestViewSynchronyInvariantUnderRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := newGroup(t, 6)
+	vs := NewViewSync(g)
+	nextID := 6
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			members := g.Members()
+			if len(members) > 0 {
+				vs.Send(members[rng.Intn(len(members))], "payload")
+			}
+		case 2:
+			vs.InstallView(ChangeJoin, nextID)
+			nextID++
+		case 3:
+			members := g.Members()
+			if len(members) > 1 {
+				kind := ChangeLeave
+				if rng.Intn(2) == 0 {
+					kind = ChangeEviction
+				}
+				vs.InstallView(kind, members[rng.Intn(len(members))])
+			}
+		}
+	}
+	vs.Flush()
+	if err := vs.CheckViewSynchrony(); err != nil {
+		t.Fatal(err)
+	}
+	if len(vs.Log()) == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+}

@@ -1,0 +1,217 @@
+// Package gdh implements the GDH.2 contributory group key agreement
+// protocol of Steiner, Tsudik and Waidner (CCS'96), which the paper uses as
+// the distributed rekeying substrate for secure group communication in
+// MANETs (no centralized key server).
+//
+// The package serves two roles:
+//
+//  1. A working protocol implementation over math/big modular arithmetic,
+//     with per-member secret exponents, the upflow phase, the final
+//     broadcast, and per-member key derivation (all members must arrive at
+//     the same group key).
+//  2. Exact message/traffic accounting — the number of protocol messages
+//     and total bits on the wire as a function of group size — from which
+//     the rekey communication time Tcm consumed by the SPN model's T_RK
+//     transition and by the Ĉrekey cost component is derived.
+package gdh
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// Group is a multiplicative group of integers modulo a prime P with
+// generator G.
+type Group struct {
+	P *big.Int // prime modulus
+	G *big.Int // generator
+}
+
+// rfc3526Prime1536 is the 1536-bit MODP group prime from RFC 3526 §2.
+const rfc3526Prime1536 = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+// NewGroupRFC3526 returns the 1536-bit MODP group (generator 2) from RFC
+// 3526, the kind of group a deployed GDH implementation would use.
+func NewGroupRFC3526() *Group {
+	p, ok := new(big.Int).SetString(rfc3526Prime1536, 16)
+	if !ok {
+		panic("gdh: bad RFC 3526 prime constant")
+	}
+	return &Group{P: p, G: big.NewInt(2)}
+}
+
+// NewTestGroup returns a small safe-prime group (p = 2q+1 with q prime)
+// suitable for fast tests: p = 2879, generator 7 (order q = 1439 subgroup
+// generator squared keeps exponentiations cheap).
+func NewTestGroup() *Group {
+	return &Group{P: big.NewInt(2879), G: big.NewInt(7)}
+}
+
+// Bits returns the size of group elements in bits (the wire size of one
+// intermediate value).
+func (g *Group) Bits() int { return g.P.BitLen() }
+
+// Member is one participant in a GDH.2 session.
+type Member struct {
+	ID     int
+	secret *big.Int
+	key    *big.Int
+}
+
+// Key returns the group key derived by this member (nil before the session
+// completes).
+func (m *Member) Key() *big.Int { return m.key }
+
+// Message is one protocol message, recorded for traffic accounting.
+type Message struct {
+	From      int  // sender member index
+	To        int  // receiver member index; -1 means broadcast
+	NumValues int  // group elements carried
+	Broadcast bool // final downflow broadcast
+}
+
+// Session is a completed GDH.2 run.
+type Session struct {
+	Group    *Group
+	Members  []*Member
+	Messages []Message
+}
+
+// Run executes GDH.2 among n members and returns the session. All members
+// derive the same group key; Run verifies this and fails otherwise.
+func Run(grp *Group, n int) (*Session, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gdh: need at least 1 member, got %d", n)
+	}
+	s := &Session{Group: grp}
+	// qOrder bounds secret exponents; for a safe prime p the subgroup
+	// order is (p-1)/2.
+	qOrder := new(big.Int).Rsh(new(big.Int).Sub(grp.P, big.NewInt(1)), 1)
+	for i := 0; i < n; i++ {
+		sec, err := randExponent(qOrder)
+		if err != nil {
+			return nil, fmt.Errorf("gdh: secret generation: %w", err)
+		}
+		s.Members = append(s.Members, &Member{ID: i, secret: sec})
+	}
+	if n == 1 {
+		// Degenerate group: the sole member's key is g^x1.
+		m := s.Members[0]
+		m.key = new(big.Int).Exp(grp.G, m.secret, grp.P)
+		return s, nil
+	}
+
+	// Upflow phase. The message from M_i to M_{i+1} carries the partial
+	// products {g^{(x1..xi)/xj} : j <= i} plus the cardinal value
+	// g^{x1..xi}: i+1 group elements.
+	subProducts := []*big.Int{grp.G}                                // {g^{(x1..xi)/xj}} with x1/x1 = g for i=1
+	cardinal := new(big.Int).Exp(grp.G, s.Members[0].secret, grp.P) // g^{x1}
+	s.Messages = append(s.Messages, Message{From: 0, To: 1, NumValues: 2})
+	for i := 1; i < n-1; i++ {
+		x := s.Members[i].secret
+		next := make([]*big.Int, 0, len(subProducts)+1)
+		// Previous sub-products each gain the factor x_i.
+		for _, v := range subProducts {
+			next = append(next, new(big.Int).Exp(v, x, grp.P))
+		}
+		// The previous cardinal g^{x1..x_{i-1}} joins the set as the
+		// sub-product missing x_i itself.
+		next = append(next, cardinal)
+		cardinal = new(big.Int).Exp(cardinal, x, grp.P)
+		subProducts = next
+		s.Messages = append(s.Messages, Message{From: i, To: i + 1, NumValues: len(subProducts) + 1})
+	}
+
+	// Final member M_n: key = cardinal^{x_n}; broadcast sub-products each
+	// raised to x_n.
+	last := s.Members[n-1]
+	last.key = new(big.Int).Exp(cardinal, last.secret, grp.P)
+	bcast := make([]*big.Int, len(subProducts))
+	for j, v := range subProducts {
+		bcast[j] = new(big.Int).Exp(v, last.secret, grp.P)
+	}
+	s.Messages = append(s.Messages, Message{From: n - 1, To: -1, NumValues: len(bcast), Broadcast: true})
+
+	// Each M_j derives the key from its broadcast element. Element j of
+	// the broadcast misses exactly x_j by construction.
+	for j := 0; j < n-1; j++ {
+		s.Members[j].key = new(big.Int).Exp(bcast[j], s.Members[j].secret, grp.P)
+	}
+
+	// Verify agreement: every member must hold the same key.
+	for _, m := range s.Members[1:] {
+		if m.key.Cmp(s.Members[0].key) != 0 {
+			return nil, fmt.Errorf("gdh: member %d derived a different key", m.ID)
+		}
+	}
+	return s, nil
+}
+
+// Key returns the agreed group key of a completed session.
+func (s *Session) Key() *big.Int { return s.Members[0].key }
+
+// randExponent draws a uniform secret in [2, order).
+func randExponent(order *big.Int) (*big.Int, error) {
+	two := big.NewInt(2)
+	span := new(big.Int).Sub(order, two)
+	if span.Sign() <= 0 {
+		return nil, fmt.Errorf("gdh: group order too small")
+	}
+	r, err := rand.Int(rand.Reader, span)
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(r, two), nil
+}
+
+// --- Traffic accounting (closed forms, no bignum work) ---
+
+// NumMessages returns the number of protocol messages for an n-member run:
+// n-1 upflow messages plus 1 broadcast.
+func NumMessages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n
+}
+
+// NumValues returns the total count of group elements on the wire for an
+// n-member run: sum_{i=1}^{n-1}(i+1) upflow values plus n-1 broadcast
+// values = (n-1)(n+4)/2.
+func NumValues(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * (n + 4) / 2
+}
+
+// TotalBits returns the total wire bits of an n-member run for the given
+// element size.
+func TotalBits(n, elementBits int) int64 {
+	return int64(NumValues(n)) * int64(elementBits)
+}
+
+// RekeyTime returns Tcm, the time (seconds) to complete a GDH rekeying for
+// an n-member group: total wire bits, amplified by the mean hop count of
+// the multi-hop MANET, divided by the shared wireless bandwidth in bits/s.
+// This is the reciprocal of the SPN transition rate of T_RK.
+func RekeyTime(n, elementBits int, meanHops, bandwidthBps float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if bandwidthBps <= 0 {
+		panic(fmt.Sprintf("gdh: non-positive bandwidth %v", bandwidthBps))
+	}
+	if meanHops < 1 {
+		meanHops = 1
+	}
+	return float64(TotalBits(n, elementBits)) * meanHops / bandwidthBps
+}

@@ -1,0 +1,158 @@
+package gdh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunKeyAgreementSmallGroups(t *testing.T) {
+	grp := NewTestGroup()
+	for n := 1; n <= 12; n++ {
+		s, err := Run(grp, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		key := s.Key()
+		if key == nil || key.Sign() <= 0 {
+			t.Fatalf("n=%d: bad key %v", n, key)
+		}
+		for _, m := range s.Members {
+			if m.Key().Cmp(key) != 0 {
+				t.Fatalf("n=%d: member %d key mismatch", n, m.ID)
+			}
+		}
+	}
+}
+
+func TestRunRealGroupOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1536-bit exponentiations in -short mode")
+	}
+	s, err := Run(NewGroupRFC3526(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key().BitLen() == 0 {
+		t.Fatal("empty key")
+	}
+}
+
+func TestKeysDifferAcrossSessions(t *testing.T) {
+	grp := NewTestGroup()
+	// With a 1439-element subgroup two independent sessions rarely agree;
+	// run a few and require at least one difference.
+	same := 0
+	for trial := 0; trial < 8; trial++ {
+		a, err := Run(grp, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(grp, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Key().Cmp(b.Key()) == 0 {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("eight session pairs all derived identical keys; secrets not random?")
+	}
+}
+
+func TestRunRejectsZeroMembers(t *testing.T) {
+	if _, err := Run(NewTestGroup(), 0); err == nil {
+		t.Fatal("Run(0) accepted")
+	}
+}
+
+func TestMessageAccountingMatchesClosedForm(t *testing.T) {
+	grp := NewTestGroup()
+	for n := 2; n <= 15; n++ {
+		s, err := Run(grp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(s.Messages), NumMessages(n); got != want {
+			t.Errorf("n=%d: %d messages, closed form %d", n, got, want)
+		}
+		values := 0
+		for _, m := range s.Messages {
+			values += m.NumValues
+		}
+		if want := NumValues(n); values != want {
+			t.Errorf("n=%d: %d values on wire, closed form %d", n, values, want)
+		}
+		// Exactly one broadcast, and it is the last message.
+		last := s.Messages[len(s.Messages)-1]
+		if !last.Broadcast || last.To != -1 {
+			t.Errorf("n=%d: last message is not the broadcast: %+v", n, last)
+		}
+	}
+}
+
+func TestNumValuesClosedForm(t *testing.T) {
+	// Independent recomputation: sum_{i=1}^{n-1} (i+1) + (n-1).
+	for n := 2; n <= 200; n++ {
+		want := 0
+		for i := 1; i <= n-1; i++ {
+			want += i + 1
+		}
+		want += n - 1
+		if got := NumValues(n); got != want {
+			t.Fatalf("NumValues(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if NumValues(1) != 0 || NumValues(0) != 0 {
+		t.Error("degenerate NumValues not zero")
+	}
+}
+
+func TestRekeyTimeScaling(t *testing.T) {
+	// Doubling bandwidth halves Tcm; doubling hops doubles it.
+	base := RekeyTime(10, 1536, 2, 1e6)
+	if base <= 0 {
+		t.Fatal("RekeyTime not positive")
+	}
+	if got := RekeyTime(10, 1536, 2, 2e6); got != base/2 {
+		t.Errorf("bandwidth scaling wrong: %v vs %v", got, base/2)
+	}
+	if got := RekeyTime(10, 1536, 4, 1e6); got != base*2 {
+		t.Errorf("hop scaling wrong: %v vs %v", got, base*2)
+	}
+	if got := RekeyTime(1, 1536, 2, 1e6); got != 0 {
+		t.Errorf("single-member rekey time = %v, want 0", got)
+	}
+	// Hops below 1 are clamped.
+	if got := RekeyTime(10, 1536, 0.2, 1e6); got != RekeyTime(10, 1536, 1, 1e6) {
+		t.Error("hop clamp missing")
+	}
+}
+
+func TestRekeyTimePanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	RekeyTime(5, 1536, 1, 0)
+}
+
+func TestRekeyTimeMonotoneInGroupSizeProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		return RekeyTime(n+1, 1536, 2, 1e6) > RekeyTime(n, 1536, 2, 1e6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupBits(t *testing.T) {
+	if got := NewGroupRFC3526().Bits(); got != 1536 {
+		t.Errorf("RFC3526 group bits = %d, want 1536", got)
+	}
+	if got := NewTestGroup().Bits(); got != 12 {
+		t.Errorf("test group bits = %d, want 12", got)
+	}
+}

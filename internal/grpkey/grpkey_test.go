@@ -1,0 +1,136 @@
+package grpkey
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k, err := Derive(big.NewInt(123456789), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("coordinates 38.88,-77.01 at 0400Z")
+	aad := []byte("sender=7")
+	env, err := k.Seal(nil, msg, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Open(env, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestWrongEpochRefused(t *testing.T) {
+	secret := big.NewInt(42424242)
+	k1, err := Derive(secret, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Derive(secret, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k1.Seal(nil, []byte("old epoch"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k2.Open(env, nil); err != ErrWrongEpoch {
+		t.Fatalf("cross-epoch open returned %v, want ErrWrongEpoch", err)
+	}
+}
+
+func TestEpochsDeriveDistinctKeys(t *testing.T) {
+	// Same GDH secret, different epochs: ciphertext of epoch 1 must not
+	// decrypt under epoch 2's key even when the epoch field is forged.
+	secret := big.NewInt(42424242)
+	k1, _ := Derive(secret, 1)
+	k2, _ := Derive(secret, 2)
+	env, err := k1.Seal(nil, []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Epoch = 2 // forge the epoch tag
+	if _, err := k2.Open(env, nil); err != ErrDecrypt {
+		t.Fatalf("forged-epoch open returned %v, want ErrDecrypt", err)
+	}
+}
+
+func TestDifferentSecretsCannotDecrypt(t *testing.T) {
+	kA, _ := Derive(big.NewInt(1111), 5)
+	kB, _ := Derive(big.NewInt(2222), 5)
+	env, err := kA.Seal(nil, []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kB.Open(env, nil); err != ErrDecrypt {
+		t.Fatalf("outsider decryption returned %v, want ErrDecrypt", err)
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	k, _ := Derive(big.NewInt(99), 1)
+	env, err := k.Seal(nil, []byte("integrity matters"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Ciphertext[0] ^= 0x01
+	if _, err := k.Open(env, nil); err != ErrDecrypt {
+		t.Fatalf("tampered ciphertext returned %v, want ErrDecrypt", err)
+	}
+}
+
+func TestAADBinding(t *testing.T) {
+	k, _ := Derive(big.NewInt(99), 1)
+	env, err := k.Seal(nil, []byte("msg"), []byte("sender=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(env, []byte("sender=2")); err != ErrDecrypt {
+		t.Fatalf("AAD substitution returned %v, want ErrDecrypt", err)
+	}
+}
+
+func TestNoncesFresh(t *testing.T) {
+	k, _ := Derive(big.NewInt(99), 1)
+	a, err := k.Seal(nil, []byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Seal(nil, []byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Nonce, b.Nonce) {
+		t.Fatal("nonce reuse across seals")
+	}
+	if bytes.Equal(a.Ciphertext, b.Ciphertext) {
+		t.Fatal("identical ciphertexts for identical plaintexts")
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	if _, err := Derive(nil, 1); err == nil {
+		t.Error("nil secret accepted")
+	}
+	if _, err := Derive(big.NewInt(0), 1); err == nil {
+		t.Error("zero secret accepted")
+	}
+	if _, err := Derive(big.NewInt(-5), 1); err == nil {
+		t.Error("negative secret accepted")
+	}
+}
+
+func TestOpenBadNonceLength(t *testing.T) {
+	k, _ := Derive(big.NewInt(99), 1)
+	env, _ := k.Seal(nil, []byte("x"), nil)
+	env.Nonce = env.Nonce[:4]
+	if _, err := k.Open(env, nil); err != ErrDecrypt {
+		t.Fatalf("short nonce returned %v, want ErrDecrypt", err)
+	}
+}

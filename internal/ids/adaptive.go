@@ -1,0 +1,111 @@
+package ids
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/shapes"
+)
+
+// Controller schedules the next IDS invocation according to the detection
+// function D(md): the interval shrinks as more compromised nodes are
+// detected and evicted (md = Ninit / active members grows).
+type Controller struct {
+	Detection shapes.Detection
+	NInit     int // initial group population
+}
+
+// NextInterval returns the time until the next detection round given the
+// current number of active members (trusted + undetected compromised).
+func (c Controller) NextInterval(activeMembers int) float64 {
+	md := shapes.EvictionPressure(c.NInit, activeMembers, 0)
+	rate := c.Detection.Rate(md)
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// ClassifyAttacker infers which attacker strength function (logarithmic,
+// linear, or polynomial) best explains a sequence of observed compromise
+// times, implementing the runtime attacker-strength detection the adaptive
+// protocol of Section 5 relies on ("the system could adjust the IDS
+// detection strength in response to the attacker strength detected at
+// runtime").
+//
+// Model: the i-th inter-compromise gap is exponential with rate
+// lambdaC * g(mc_i) where g is the candidate shape and mc_i the compromise
+// pressure after i compromises. For each candidate shape the maximum
+// likelihood lambdaC is total-shape-weight / total-time; the candidate with
+// the highest resulting log-likelihood wins. At least 3 compromise times
+// are required.
+func ClassifyAttacker(times []float64, nInit int, p float64) (shapes.Kind, error) {
+	if len(times) < 3 {
+		return 0, fmt.Errorf("ids: need >= 3 compromise times to classify, got %d", len(times))
+	}
+	if p == 0 {
+		p = shapes.DefaultP
+	}
+	prev := 0.0
+	gaps := make([]float64, 0, len(times))
+	for i, t := range times {
+		if t <= prev {
+			return 0, fmt.Errorf("ids: compromise times must be strictly increasing (index %d)", i)
+		}
+		gaps = append(gaps, t-prev)
+		prev = t
+	}
+	best := shapes.Linear
+	bestLL := math.Inf(-1)
+	for _, kind := range shapes.Kinds() {
+		ll := shapeLogLikelihood(kind, gaps, nInit, p)
+		if ll > bestLL {
+			bestLL, best = ll, kind
+		}
+	}
+	return best, nil
+}
+
+// shapeLogLikelihood computes the profile log-likelihood of the gap
+// sequence under the candidate shape with lambdaC maximized out.
+func shapeLogLikelihood(kind shapes.Kind, gaps []float64, nInit int, p float64) float64 {
+	a := shapes.Attacker{Kind: kind, LambdaC: 1, P: p}
+	// Weight of gap i: g(mc_i) with i prior compromises. mc as in the SPN
+	// parameterization: (Tm + UCm)/Tm with Tm = nInit - i, UCm = i.
+	w := make([]float64, len(gaps))
+	sumWT := 0.0
+	for i := range gaps {
+		mc := shapes.Pressure(nInit-i, i)
+		w[i] = a.Rate(mc)
+		sumWT += w[i] * gaps[i]
+	}
+	if sumWT <= 0 {
+		return math.Inf(-1)
+	}
+	// MLE: lambda = n / sum(w_i t_i). LL = sum(log(lambda w_i)) - lambda*sum(w_i t_i).
+	n := float64(len(gaps))
+	lambda := n / sumWT
+	ll := -lambda * sumWT
+	for i := range gaps {
+		ll += math.Log(lambda * w[i])
+	}
+	return ll
+}
+
+// BestResponse returns the paper's heuristic response to a classified
+// attacker kind: match the detection growth to the attacker growth (Figure
+// 4 reports the linear detection function as best against the linear
+// attacker). When a model evaluation is affordable at runtime, prefer
+// core.BestDetection, which sweeps all three shapes against the classified
+// attacker instead of assuming the identity mapping is optimal.
+func BestResponse(attacker shapes.Kind) shapes.Kind { return attacker }
+
+// AdaptivePlan couples classification and response: given observed
+// compromise times it returns the detection function to switch to.
+func AdaptivePlan(times []float64, nInit int, p float64, tids float64) (shapes.Detection, error) {
+	kind, err := ClassifyAttacker(times, nInit, p)
+	if err != nil {
+		return shapes.Detection{}, err
+	}
+	return shapes.Detection{Kind: BestResponse(kind), TIDS: tids, P: p}, nil
+}

@@ -1,0 +1,54 @@
+// Package ids implements the distributed intrusion detection protocols of
+// Section 2.2: the host-based IDS error model (per-node false negative p1
+// and false positive p2), the voting-based IDS protocol runtime (dynamic
+// selection of m vote participants, malicious voting by colluding
+// compromised nodes, strict-majority eviction), and the adaptive control
+// layer that classifies the attacker's strength function at runtime and
+// selects the matching detection function and interval.
+package ids
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// HostIDS models any preinstalled per-node detection technique (misuse or
+// anomaly detection) by its two error probabilities, exactly as the paper
+// abstracts it: "we measure the effectiveness of IDS techniques applied
+// ... by two parameters, the false negative probability (p1) and false
+// positive probability (p2)".
+type HostIDS struct {
+	P1 float64 // P(healthy verdict | target compromised)
+	P2 float64 // P(compromised verdict | target healthy)
+}
+
+// Validate checks the probabilities.
+func (h HostIDS) Validate() error {
+	if h.P1 < 0 || h.P1 > 1 {
+		return fmt.Errorf("ids: p1 = %v outside [0,1]", h.P1)
+	}
+	if h.P2 < 0 || h.P2 > 1 {
+		return fmt.Errorf("ids: p2 = %v outside [0,1]", h.P2)
+	}
+	return nil
+}
+
+// MisuseDetection returns a host IDS parameterization typical of
+// signature-based detection: more false negatives, fewer false positives
+// (the paper's characterization).
+func MisuseDetection() HostIDS { return HostIDS{P1: 0.05, P2: 0.005} }
+
+// AnomalyDetection returns a host IDS parameterization typical of
+// anomaly-based detection: fewer false negatives, more false positives.
+func AnomalyDetection() HostIDS { return HostIDS{P1: 0.005, P2: 0.05} }
+
+// Assess returns this node's verdict on a target: true means "compromised"
+// (a negative vote in the voting protocol). The verdict errs with p1 or p2
+// depending on the target's true state.
+func (h HostIDS) Assess(rng *des.Stream, targetCompromised bool) bool {
+	if targetCompromised {
+		return !rng.Bernoulli(h.P1) // missed with probability p1
+	}
+	return rng.Bernoulli(h.P2) // falsely flagged with probability p2
+}

@@ -1,0 +1,302 @@
+package ids
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/shapes"
+	"repro/internal/voting"
+)
+
+func TestHostIDSValidate(t *testing.T) {
+	if err := (HostIDS{P1: 0.01, P2: 0.01}).Validate(); err != nil {
+		t.Errorf("valid host IDS rejected: %v", err)
+	}
+	for _, h := range []HostIDS{{P1: -1}, {P1: 2}, {P2: -0.5}, {P2: 1.1}} {
+		if err := h.Validate(); err == nil {
+			t.Errorf("invalid host IDS %+v accepted", h)
+		}
+	}
+}
+
+func TestHostIDSPresets(t *testing.T) {
+	m, a := MisuseDetection(), AnomalyDetection()
+	if !(m.P1 > m.P2) {
+		t.Error("misuse detection should have p1 > p2")
+	}
+	if !(a.P2 > a.P1) {
+		t.Error("anomaly detection should have p2 > p1")
+	}
+}
+
+func TestHostIDSAssessFrequencies(t *testing.T) {
+	rng := des.NewStream(1)
+	h := HostIDS{P1: 0.2, P2: 0.1}
+	n := 100000
+	missed, flagged := 0, 0
+	for i := 0; i < n; i++ {
+		if !h.Assess(rng, true) {
+			missed++
+		}
+		if h.Assess(rng, false) {
+			flagged++
+		}
+	}
+	if f := float64(missed) / float64(n); math.Abs(f-0.2) > 0.01 {
+		t.Errorf("miss rate %v, want ~0.2", f)
+	}
+	if f := float64(flagged) / float64(n); math.Abs(f-0.1) > 0.01 {
+		t.Errorf("false flag rate %v, want ~0.1", f)
+	}
+}
+
+func makeMembers(nGood, nBad int) []NodeState {
+	ms := make([]NodeState, 0, nGood+nBad)
+	for i := 0; i < nGood; i++ {
+		ms = append(ms, NodeState{ID: i})
+	}
+	for i := 0; i < nBad; i++ {
+		ms = append(ms, NodeState{ID: nGood + i, Compromised: true})
+	}
+	return ms
+}
+
+func TestRunVotePerfectDetectorsEvictBad(t *testing.T) {
+	rng := des.NewStream(2)
+	members := makeMembers(10, 1)
+	bad := members[10]
+	host := HostIDS{}
+	for trial := 0; trial < 50; trial++ {
+		o, err := RunVote(rng, members, bad, 5, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Evict {
+			t.Fatalf("perfect detectors failed to evict a lone bad node: %+v", o)
+		}
+		if o.Participants != 5 {
+			t.Errorf("participants = %d, want 5", o.Participants)
+		}
+	}
+}
+
+func TestRunVotePerfectDetectorsKeepGood(t *testing.T) {
+	rng := des.NewStream(3)
+	members := makeMembers(10, 0)
+	host := HostIDS{}
+	for trial := 0; trial < 50; trial++ {
+		o, err := RunVote(rng, members, members[0], 5, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Evict {
+			t.Fatalf("perfect detectors evicted a good node: %+v", o)
+		}
+	}
+}
+
+func TestRunVoteColludingMajorityWins(t *testing.T) {
+	// 2 good + 5 bad: any panel of 5 has >= 3 colluders, who always evict
+	// the good target and keep bad targets.
+	rng := des.NewStream(4)
+	members := makeMembers(2, 5)
+	host := HostIDS{}
+	good := members[0]
+	badTarget := members[2]
+	for trial := 0; trial < 30; trial++ {
+		o, err := RunVote(rng, members, good, 5, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Evict {
+			t.Fatalf("colluding majority failed to evict good node (colluders=%d)", o.Colluders)
+		}
+		o, err = RunVote(rng, members, badTarget, 5, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Evict {
+			t.Fatalf("colluding majority let a bad node be evicted")
+		}
+	}
+}
+
+func TestRunVotePoolSmallerThanM(t *testing.T) {
+	rng := des.NewStream(5)
+	members := makeMembers(3, 0)
+	o, err := RunVote(rng, members, members[0], 9, HostIDS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Participants != 2 {
+		t.Errorf("participants = %d, want 2 (pool-capped)", o.Participants)
+	}
+}
+
+func TestRunVoteSingleton(t *testing.T) {
+	rng := des.NewStream(6)
+	members := makeMembers(1, 0)
+	o, err := RunVote(rng, members, members[0], 5, HostIDS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Evict || o.Participants != 0 {
+		t.Errorf("singleton vote outcome %+v, want no participants / no eviction", o)
+	}
+}
+
+func TestRunVoteValidation(t *testing.T) {
+	rng := des.NewStream(7)
+	members := makeMembers(3, 0)
+	if _, err := RunVote(rng, members, members[0], 0, HostIDS{}); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := RunVote(rng, members, members[0], 3, HostIDS{P1: 9}); err == nil {
+		t.Error("bad host IDS accepted")
+	}
+}
+
+func TestRunVoteMatchesEquationOneStatistically(t *testing.T) {
+	// The protocol runtime must reproduce the closed-form Pfp/Pfn of
+	// package voting (the two implementations are independent).
+	rng := des.NewStream(8)
+	nGood, nBad, m := 12, 3, 5
+	p1, p2 := 0.05, 0.08
+	host := HostIDS{P1: p1, P2: p2}
+	members := makeMembers(nGood, nBad)
+	trials := 60000
+	evictGood, keepBad := 0, 0
+	for i := 0; i < trials; i++ {
+		o, err := RunVote(rng, members, members[0], m, host) // good target
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Evict {
+			evictGood++
+		}
+		o, err = RunVote(rng, members, members[nGood], m, host) // bad target
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Evict {
+			keepBad++
+		}
+	}
+	gotPfp := float64(evictGood) / float64(trials)
+	gotPfn := float64(keepBad) / float64(trials)
+	wantPfp := voting.FalsePositive(nGood, nBad, m, p2)
+	wantPfn := voting.FalseNegative(nGood, nBad, m, p1)
+	if math.Abs(gotPfp-wantPfp) > 0.01 {
+		t.Errorf("runtime Pfp %v vs Equation 1 %v", gotPfp, wantPfp)
+	}
+	if math.Abs(gotPfn-wantPfn) > 0.01 {
+		t.Errorf("runtime Pfn %v vs Equation 1 %v", gotPfn, wantPfn)
+	}
+}
+
+func TestRunRoundCountsErrors(t *testing.T) {
+	rng := des.NewStream(9)
+	members := makeMembers(8, 2)
+	res, err := RunRound(rng, members, 5, HostIDS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 10 {
+		t.Fatalf("outcomes = %d, want 10", len(res.Outcomes))
+	}
+	// Perfect detectors with a bad minority: both bad nodes evicted, no
+	// false positives or negatives.
+	if len(res.Evictions) != 2 || res.FalsePositives != 0 || res.FalseNegatives != 0 {
+		t.Errorf("round result %+v, want exactly the 2 bad nodes evicted", res)
+	}
+}
+
+func TestControllerIntervalShrinksWithEvictions(t *testing.T) {
+	c := Controller{
+		Detection: shapes.Detection{Kind: shapes.Linear, TIDS: 120},
+		NInit:     100,
+	}
+	full := c.NextInterval(100)
+	if math.Abs(full-120) > 1e-9 {
+		t.Errorf("full-group interval = %v, want 120", full)
+	}
+	half := c.NextInterval(50)
+	if math.Abs(half-60) > 1e-9 {
+		t.Errorf("half-group interval = %v, want 60", half)
+	}
+	if c.NextInterval(25) >= half {
+		t.Error("interval must keep shrinking as members are evicted")
+	}
+}
+
+func synthCompromiseTimes(kind shapes.Kind, lambdaC float64, nInit, count int, seed int64) []float64 {
+	rng := des.NewStream(seed)
+	a := shapes.Attacker{Kind: kind, LambdaC: lambdaC}
+	var times []float64
+	now := 0.0
+	for i := 0; i < count; i++ {
+		mc := shapes.Pressure(nInit-i, i)
+		now += rng.Exp(a.Rate(mc))
+		times = append(times, now)
+	}
+	return times
+}
+
+func TestClassifyAttackerRecoversKind(t *testing.T) {
+	// With enough observations the MLE classifier must recover the
+	// generating shape. Polynomial vs linear vs log separate quickly
+	// because the rates diverge by orders of magnitude at high mc.
+	nInit := 100
+	for _, kind := range shapes.Kinds() {
+		correct := 0
+		trials := 20
+		for s := int64(0); s < int64(trials); s++ {
+			times := synthCompromiseTimes(kind, 1.0/3600, nInit, 90, 100+s)
+			got, err := ClassifyAttacker(times, nInit, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == kind {
+				correct++
+			}
+		}
+		if correct < trials*3/4 {
+			t.Errorf("classifier recovered %v only %d/%d times", kind, correct, trials)
+		}
+	}
+}
+
+func TestClassifyAttackerValidation(t *testing.T) {
+	if _, err := ClassifyAttacker([]float64{1, 2}, 10, 0); err == nil {
+		t.Error("too few times accepted")
+	}
+	if _, err := ClassifyAttacker([]float64{1, 2, 2}, 10, 0); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestBestResponseIdentity(t *testing.T) {
+	for _, k := range shapes.Kinds() {
+		if BestResponse(k) != k {
+			t.Errorf("BestResponse(%v) = %v", k, BestResponse(k))
+		}
+	}
+}
+
+func TestAdaptivePlan(t *testing.T) {
+	times := synthCompromiseTimes(shapes.Polynomial, 1.0/3600, 30, 20, 55)
+	d, err := AdaptivePlan(times, 30, 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TIDS != 120 {
+		t.Errorf("plan TIDS = %v", d.TIDS)
+	}
+	if d.Kind != shapes.Polynomial {
+		t.Logf("classifier picked %v for a polynomial attacker (acceptable occasionally)", d.Kind)
+	}
+	if _, err := AdaptivePlan([]float64{1}, 30, 0, 120); err == nil {
+		t.Error("short history accepted")
+	}
+}

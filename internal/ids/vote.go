@@ -1,0 +1,143 @@
+package ids
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/voting"
+)
+
+// NodeState is the true (attacker-known) state of a node as seen by the
+// protocol simulator.
+type NodeState struct {
+	ID          int
+	Compromised bool
+}
+
+// VoteOutcome reports one voting round on one target.
+type VoteOutcome struct {
+	Target        int
+	Evict         bool
+	NegativeVotes int
+	Participants  int
+	// Colluders is the number of compromised vote participants, recorded
+	// for diagnosis of collusion effects.
+	Colluders int
+}
+
+// RunVote executes one round of the voting-based IDS protocol on target:
+// m vote participants are selected uniformly from the other active members;
+// compromised participants vote maliciously (to evict a healthy target, to
+// keep a compromised one); healthy participants vote their host-IDS
+// verdict. The target is evicted iff negative votes reach the strict
+// majority of the participants.
+func RunVote(rng *des.Stream, members []NodeState, target NodeState, m int, host HostIDS) (VoteOutcome, error) {
+	if m < 1 {
+		return VoteOutcome{}, fmt.Errorf("ids: m must be >= 1, got %d", m)
+	}
+	if err := host.Validate(); err != nil {
+		return VoteOutcome{}, err
+	}
+	// Build the eligible voter pool: all active members except the target.
+	pool := make([]NodeState, 0, len(members))
+	for _, n := range members {
+		if n.ID != target.ID {
+			pool = append(pool, n)
+		}
+	}
+	out := VoteOutcome{Target: target.ID}
+	if len(pool) == 0 {
+		// Nobody can vote: no eviction (the false-negative convention of
+		// package voting).
+		return out, nil
+	}
+	k := voting.EffectiveM(len(pool), m)
+	picked := rng.SampleWithoutReplacement(len(pool), k)
+	out.Participants = k
+	maj := voting.Majority(k)
+	for _, pi := range picked {
+		voter := pool[pi]
+		var negative bool
+		if voter.Compromised {
+			out.Colluders++
+			// Malicious strategy from Section 3: "disseminating a fake
+			// vote to keep more compromised nodes but evict good nodes".
+			negative = !target.Compromised
+		} else {
+			negative = host.Assess(rng, target.Compromised)
+		}
+		if negative {
+			out.NegativeVotes++
+		}
+	}
+	out.Evict = out.NegativeVotes >= maj
+	return out, nil
+}
+
+// RunClusterHeadVote executes one cluster-head assessment of a target: a
+// head is drawn uniformly from the other members; a compromised head
+// always decides maliciously, a healthy head applies its host IDS. This is
+// the related-work architecture the voting protocol is compared against.
+func RunClusterHeadVote(rng *des.Stream, members []NodeState, target NodeState, host HostIDS) (VoteOutcome, error) {
+	if err := host.Validate(); err != nil {
+		return VoteOutcome{}, err
+	}
+	pool := make([]NodeState, 0, len(members))
+	for _, n := range members {
+		if n.ID != target.ID {
+			pool = append(pool, n)
+		}
+	}
+	out := VoteOutcome{Target: target.ID}
+	if len(pool) == 0 {
+		return out, nil
+	}
+	head := pool[rng.Pick(len(pool))]
+	out.Participants = 1
+	var negative bool
+	if head.Compromised {
+		out.Colluders = 1
+		negative = !target.Compromised
+	} else {
+		negative = host.Assess(rng, target.Compromised)
+	}
+	if negative {
+		out.NegativeVotes = 1
+		out.Evict = true
+	}
+	return out, nil
+}
+
+// RoundResult aggregates a full IDS sweep over every active member.
+type RoundResult struct {
+	Outcomes []VoteOutcome
+	// Evictions lists the IDs voted out, in target order.
+	Evictions []int
+	// FalsePositives counts healthy nodes evicted; FalseNegatives counts
+	// compromised nodes retained.
+	FalsePositives int
+	FalseNegatives int
+}
+
+// RunRound runs one periodic detection round: every active member is
+// evaluated by a fresh random panel of m participants. This is the
+// per-invocation behavior behind the SPN's D(md)-rated transitions.
+func RunRound(rng *des.Stream, members []NodeState, m int, host HostIDS) (RoundResult, error) {
+	var res RoundResult
+	for _, target := range members {
+		o, err := RunVote(rng, members, target, m, host)
+		if err != nil {
+			return RoundResult{}, err
+		}
+		res.Outcomes = append(res.Outcomes, o)
+		if o.Evict {
+			res.Evictions = append(res.Evictions, target.ID)
+			if !target.Compromised {
+				res.FalsePositives++
+			}
+		} else if target.Compromised {
+			res.FalseNegatives++
+		}
+	}
+	return res, nil
+}

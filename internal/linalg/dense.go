@@ -1,0 +1,235 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewDense returns a zero Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewDense(%d,%d) negative dimension", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// DenseFromRows builds a matrix from row slices, which must be rectangular.
+func DenseFromRows(rows [][]float64) *Dense {
+	r := len(rows)
+	if r == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: DenseFromRows ragged input")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments the (i, j) entry by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m * x.
+func (m *Dense) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d vs %d", m.Rows, m.Cols, len(x)))
+	}
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul returns the matrix product m * b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// LU holds a compact LU factorization with partial pivoting: PA = LU.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  float64
+}
+
+// Factorize computes the LU decomposition of a square matrix. It returns an
+// error if the matrix is numerically singular.
+func Factorize(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Factorize requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: pick the largest magnitude in column k.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("linalg: matrix singular at column %d", k)
+		}
+		pivot[k] = p
+		if p != k {
+			ri, rp := lu.Data[k*n:(k+1)*n], lu.Data[p*n:(p+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rp[j] = rp[j], ri[j]
+			}
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * inv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			rowI := lu.Data[i*n : (i+1)*n]
+			rowK := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve returns x with A x = b for the factorized A.
+func (f *LU) Solve(b Vector) Vector {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: LU.Solve dimension mismatch %d vs %d", n, len(b)))
+	}
+	x := b.Clone()
+	// The stored L reflects all row interchanges (rows are swapped in
+	// full during factorization), so the permutation must be applied to
+	// the right-hand side completely before substitution begins.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward-substitute L (unit diagonal).
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+	}
+	// Back-substitute U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu.Data[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveDense solves A x = b directly (convenience wrapper).
+func SolveDense(a *Dense, b Vector) (Vector, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A^-1 or an error if A is singular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewDense(n, n)
+	e := NewVector(n)
+	for j := 0; j < n; j++ {
+		e.Fill(0)
+		e[j] = 1
+		col := f.Solve(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,235 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before meeting the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// IterOpts configures the iterative solvers. Zero values select defaults.
+type IterOpts struct {
+	// MaxIter bounds the number of sweeps (default 20000).
+	MaxIter int
+	// Tol is the relative residual target ||Ax-b|| / ||b|| (default 1e-12).
+	Tol float64
+	// Omega is the SOR relaxation factor in (0, 2); default 1 (Gauss-Seidel).
+	Omega float64
+	// X0 optionally provides a starting guess; it is not modified.
+	X0 Vector
+}
+
+func (o *IterOpts) defaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 20000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.Omega == 0 {
+		o.Omega = 1
+	}
+}
+
+// IterResult reports solver statistics.
+type IterResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// SolveSOR solves A x = b with successive over-relaxation (Gauss-Seidel when
+// Omega == 1). A must be square with nonzero diagonal. The generator-matrix
+// systems produced by the CTMC package are irreducibly diagonally dominant,
+// for which SOR converges.
+func SolveSOR(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
+	opts.defaults()
+	n := a.Rows
+	if a.Cols != n {
+		return nil, IterResult{}, fmt.Errorf("linalg: SolveSOR requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, IterResult{}, fmt.Errorf("linalg: SolveSOR rhs length %d, want %d", len(b), n)
+	}
+	// Cache the diagonal positions per row for the sweep.
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return nil, IterResult{}, fmt.Errorf("linalg: SolveSOR zero diagonal at row %d", i)
+		}
+		diag[i] = d
+	}
+	x := NewVector(n)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, IterResult{}, fmt.Errorf("linalg: SolveSOR X0 length %d, want %d", len(opts.X0), n)
+		}
+		copy(x, opts.X0)
+	}
+	bNorm := b.Norm2()
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	res := NewVector(n)
+	var it int
+	for it = 1; it <= opts.MaxIter; it++ {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j != i {
+					s -= a.Val[k] * x[j]
+				}
+			}
+			xi := s / diag[i]
+			x[i] += opts.Omega * (xi - x[i])
+		}
+		// Check the true residual every few sweeps to amortize the matvec.
+		if it%4 == 0 || it == opts.MaxIter {
+			a.MulVecTo(res, x)
+			res.Sub(res, b)
+			r := res.Norm2() / bNorm
+			if r <= opts.Tol {
+				return x, IterResult{Iterations: it, Residual: r}, nil
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return nil, IterResult{Iterations: it, Residual: r},
+					fmt.Errorf("linalg: SolveSOR diverged at iteration %d", it)
+			}
+		}
+	}
+	a.MulVecTo(res, x)
+	res.Sub(res, b)
+	r := res.Norm2() / bNorm
+	return x, IterResult{Iterations: opts.MaxIter, Residual: r}, ErrNoConvergence
+}
+
+// SolveJacobi solves A x = b with the Jacobi iteration. Slower than SOR but
+// embarrassingly order-independent; kept for cross-checking.
+func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
+	opts.defaults()
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, IterResult{}, fmt.Errorf("linalg: SolveJacobi dimension mismatch")
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return nil, IterResult{}, fmt.Errorf("linalg: SolveJacobi zero diagonal at row %d", i)
+		}
+		diag[i] = d
+	}
+	x := NewVector(n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	next := NewVector(n)
+	bNorm := b.Norm2()
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	res := NewVector(n)
+	for it := 1; it <= opts.MaxIter; it++ {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j != i {
+					s -= a.Val[k] * x[j]
+				}
+			}
+			next[i] = s / diag[i]
+		}
+		x, next = next, x
+		if it%8 == 0 || it == opts.MaxIter {
+			a.MulVecTo(res, x)
+			res.Sub(res, b)
+			r := res.Norm2() / bNorm
+			if r <= opts.Tol {
+				return x, IterResult{Iterations: it, Residual: r}, nil
+			}
+		}
+	}
+	a.MulVecTo(res, x)
+	res.Sub(res, b)
+	return x, IterResult{Iterations: opts.MaxIter, Residual: res.Norm2() / bNorm}, ErrNoConvergence
+}
+
+// SolveBiCGSTAB solves a general (possibly non-symmetric) sparse system with
+// the stabilized bi-conjugate gradient method. Used as a fallback when the
+// stationary iterations stall.
+func SolveBiCGSTAB(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
+	opts.defaults()
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, IterResult{}, fmt.Errorf("linalg: SolveBiCGSTAB dimension mismatch")
+	}
+	x := NewVector(n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	r := NewVector(n)
+	a.MulVecTo(r, x)
+	r.Sub(b, r)
+	rHat := r.Clone()
+	bNorm := b.Norm2()
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	v := NewVector(n)
+	p := NewVector(n)
+	s := NewVector(n)
+	t := NewVector(n)
+	for it := 1; it <= opts.MaxIter; it++ {
+		rhoNext := rHat.Dot(r)
+		if rhoNext == 0 {
+			return x, IterResult{Iterations: it, Residual: r.Norm2() / bNorm},
+				fmt.Errorf("linalg: BiCGSTAB breakdown (rho=0) at iteration %d", it)
+		}
+		beta := (rhoNext / rho) * (alpha / omega)
+		rho = rhoNext
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		a.MulVecTo(v, p)
+		den := rHat.Dot(v)
+		if den == 0 {
+			return x, IterResult{Iterations: it, Residual: r.Norm2() / bNorm},
+				fmt.Errorf("linalg: BiCGSTAB breakdown (rHat.v=0) at iteration %d", it)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if sn := s.Norm2() / bNorm; sn <= opts.Tol {
+			x.AXPY(alpha, p)
+			return x, IterResult{Iterations: it, Residual: sn}, nil
+		}
+		a.MulVecTo(t, s)
+		tt := t.Dot(t)
+		if tt == 0 {
+			return x, IterResult{Iterations: it, Residual: s.Norm2() / bNorm},
+				fmt.Errorf("linalg: BiCGSTAB breakdown (t=0) at iteration %d", it)
+		}
+		omega = t.Dot(s) / tt
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if rn := r.Norm2() / bNorm; rn <= opts.Tol {
+			return x, IterResult{Iterations: it, Residual: rn}, nil
+		}
+		if omega == 0 {
+			return x, IterResult{Iterations: it, Residual: r.Norm2() / bNorm},
+				fmt.Errorf("linalg: BiCGSTAB breakdown (omega=0) at iteration %d", it)
+		}
+	}
+	return x, IterResult{Iterations: opts.MaxIter, Residual: r.Norm2() / bNorm}, ErrNoConvergence
+}

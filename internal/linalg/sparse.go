@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord is a single (row, col, value) entry used while assembling a sparse
+// matrix in coordinate form.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// SparseBuilder accumulates coordinate-form entries; duplicate (row, col)
+// pairs are summed when the CSR matrix is built. The zero value is ready to
+// use after SetSize.
+type SparseBuilder struct {
+	rows, cols int
+	entries    []Coord
+}
+
+// NewSparseBuilder returns a builder for a rows x cols matrix.
+func NewSparseBuilder(rows, cols int) *SparseBuilder {
+	return &SparseBuilder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at (i, j).
+func (b *SparseBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("linalg: SparseBuilder.Add(%d,%d) out of %dx%d", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, Coord{i, j, v})
+}
+
+// NNZ returns the number of raw (pre-deduplication) entries so far.
+func (b *SparseBuilder) NNZ() int { return len(b.entries) }
+
+// Build converts the accumulated entries to CSR, summing duplicates and
+// dropping exact zeros that result from cancellation.
+func (b *SparseBuilder) Build() *CSR {
+	es := b.entries
+	sort.Slice(es, func(x, y int) bool {
+		if es[x].Row != es[y].Row {
+			return es[x].Row < es[y].Row
+		}
+		return es[x].Col < es[y].Col
+	})
+	m := &CSR{
+		Rows:   b.rows,
+		Cols:   b.cols,
+		RowPtr: make([]int, b.rows+1),
+	}
+	for k := 0; k < len(es); {
+		i, j := es[k].Row, es[k].Col
+		v := 0.0
+		for ; k < len(es) && es[k].Row == i && es[k].Col == j; k++ {
+			v += es[k].Val
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, v)
+			m.RowPtr[i+1]++
+		}
+	}
+	for i := 0; i < b.rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int // len NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the (i, j) entry (zero if not stored). O(log nnz(row i)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// Row invokes fn for every stored entry of row i.
+func (m *CSR) Row(i int, fn func(j int, v float64)) {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		fn(m.ColIdx[k], m.Val[k])
+	}
+}
+
+// MulVec returns m * x.
+func (m *CSR) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: CSR.MulVec dimension mismatch %dx%d vs %d", m.Rows, m.Cols, len(x)))
+	}
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecTo computes y = m * x into a caller-provided y, avoiding allocation.
+func (m *CSR) MulVecTo(y, x Vector) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("linalg: CSR.MulVecTo dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// TransposeMulVec returns m^T * x without forming the transpose.
+func (m *CSR) TransposeMulVec(x Vector) Vector {
+	if len(x) != m.Rows {
+		panic("linalg: CSR.TransposeMulVec dimension mismatch")
+	}
+	y := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[m.ColIdx[k]] += m.Val[k] * xi
+		}
+	}
+	return y
+}
+
+// Transpose returns a new CSR holding m^T.
+func (m *CSR) Transpose() *CSR {
+	b := NewSparseBuilder(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			b.Add(m.ColIdx[k], i, m.Val[k])
+		}
+	}
+	return b.Build()
+}
+
+// Dense expands m to a dense matrix (for tests and tiny systems).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// Diag returns a vector of the diagonal entries of a square CSR.
+func (m *CSR) Diag() Vector {
+	if m.Rows != m.Cols {
+		panic("linalg: Diag requires a square matrix")
+	}
+	d := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}

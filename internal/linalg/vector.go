@@ -1,0 +1,123 @@
+// Package linalg implements the dense and sparse numerical linear algebra
+// used by the CTMC solver: vectors, dense LU factorization with partial
+// pivoting, compressed sparse row matrices, and stationary / Krylov
+// iterative solvers (Jacobi, Gauss-Seidel, SOR, BiCGSTAB).
+//
+// The package is self-contained (stdlib only) because the analysis of the
+// intrusion-detection SPN reduces to solving moderately large sparse linear
+// systems over the reachability graph of the Petri net.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// ConstVector returns a length-n vector with every entry set to v.
+func ConstVector(n int, v float64) Vector {
+	x := make(Vector, n)
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	// Scaled accumulation avoids overflow for large entries.
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute entry of v.
+func (v Vector) NormInf() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// AXPY performs v += alpha * w in place. It panics on length mismatch.
+func (v Vector) AXPY(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale multiplies every entry of v by alpha in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every entry of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Sub stores a - b into v (v may alias a or b). Panics on length mismatch.
+func (v Vector) Sub(a, b Vector) {
+	if len(v) != len(a) || len(v) != len(b) {
+		panic("linalg: Sub length mismatch")
+	}
+	for i := range v {
+		v[i] = a[i] - b[i]
+	}
+}

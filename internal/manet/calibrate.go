@@ -1,0 +1,96 @@
+package manet
+
+import (
+	"fmt"
+
+	"repro/internal/mobility"
+)
+
+// GroupDynamics summarizes a mobility calibration run: the birth-death
+// process parameters for the SPN's T_PAR and T_MER transitions and the
+// network statistics consumed by the cost model. The paper obtains the
+// merge/partition rates "by simulation for a sufficiently long period of
+// time" (Section 4.1); this is that simulation.
+type GroupDynamics struct {
+	PartitionRate float64 // group births per second (T_PAR rate)
+	MergeRate     float64 // group deaths per second (T_MER rate)
+	MeanGroups    float64 // time-averaged number of connected components
+	MaxGroups     int     // largest component count observed
+	MeanHops      float64 // time-averaged mean hop count between reachable pairs
+	MeanDegree    float64 // time-averaged node degree
+	Duration      float64 // simulated seconds
+	Samples       int
+}
+
+// CalibrateOpts configures a calibration run.
+type CalibrateOpts struct {
+	Nodes      int     // number of nodes (paper default 100)
+	RadioRange float64 // radio range in meters
+	Duration   float64 // simulated seconds (default 4h)
+	Dt         float64 // snapshot interval in seconds (default 5s)
+	Seed       int64
+	Mobility   mobility.Config // zero value selects mobility.DefaultConfig
+}
+
+// Calibrate runs random waypoint mobility for the configured duration,
+// tracks connected-component counts across snapshots, and derives the
+// partition (birth) and merge (death) rates along with hop statistics.
+func Calibrate(opts CalibrateOpts) (*GroupDynamics, error) {
+	if opts.Nodes < 2 {
+		return nil, fmt.Errorf("manet: calibration needs >= 2 nodes, got %d", opts.Nodes)
+	}
+	if opts.RadioRange <= 0 {
+		return nil, fmt.Errorf("manet: radio range must be positive, got %v", opts.RadioRange)
+	}
+	if opts.Duration == 0 {
+		opts.Duration = 4 * 3600
+	}
+	if opts.Dt == 0 {
+		opts.Dt = 5
+	}
+	cfg := opts.Mobility
+	if cfg.Region == nil {
+		cfg = mobility.DefaultConfig()
+	}
+	st, err := mobility.NewState(cfg, opts.Nodes, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gd := &GroupDynamics{Duration: opts.Duration}
+	prevGroups := -1
+	sumGroups, sumHops, sumDeg := 0.0, 0.0, 0.0
+	hopSamples := 0
+	var partitions, merges int
+	steps := int(opts.Duration / opts.Dt)
+	for s := 0; s <= steps; s++ {
+		g := ConnectivityGraph(st.Positions(), opts.RadioRange)
+		k := g.NumComponents()
+		if prevGroups >= 0 {
+			if k > prevGroups {
+				partitions += k - prevGroups
+			} else if k < prevGroups {
+				merges += prevGroups - k
+			}
+		}
+		prevGroups = k
+		sumGroups += float64(k)
+		sumDeg += g.MeanDegree()
+		if h := g.MeanHopCount(); h > 0 {
+			sumHops += h
+			hopSamples++
+		}
+		if k > gd.MaxGroups {
+			gd.MaxGroups = k
+		}
+		gd.Samples++
+		st.Step(opts.Dt)
+	}
+	gd.PartitionRate = float64(partitions) / opts.Duration
+	gd.MergeRate = float64(merges) / opts.Duration
+	gd.MeanGroups = sumGroups / float64(gd.Samples)
+	gd.MeanDegree = sumDeg / float64(gd.Samples)
+	if hopSamples > 0 {
+		gd.MeanHops = sumHops / float64(hopSamples)
+	}
+	return gd, nil
+}

@@ -1,0 +1,176 @@
+// Package manet provides the multi-hop wireless network substrate: the
+// geometric connectivity graph induced by node positions and a radio range,
+// connected components (mobile groups are defined by connectivity in
+// Section 3 of the paper), BFS hop counts, and the mean hop multiplier used
+// to convert message bits into the hop-bits of the Ĉtotal metric.
+package manet
+
+import (
+	"fmt"
+
+	"repro/internal/mobility"
+)
+
+// Graph is an undirected connectivity graph over n nodes.
+type Graph struct {
+	N   int
+	Adj [][]int
+}
+
+// ConnectivityGraph builds the unit-disc graph: nodes are adjacent when
+// within radioRange meters of each other.
+func ConnectivityGraph(pos []mobility.Point, radioRange float64) *Graph {
+	n := len(pos)
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pos[i].Dist(pos[j]) <= radioRange {
+				g.Adj[i] = append(g.Adj[i], j)
+				g.Adj[j] = append(g.Adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+// Components returns the connected components as slices of node indices,
+// each sorted ascending, ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N)
+	var comps [][]int
+	queue := make([]int, 0, g.N)
+	for start := 0; start < g.N; start++ {
+		if seen[start] {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, start)
+		seen[start] = true
+		var comp []int
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, w := range g.Adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		// BFS from the smallest unseen vertex emits ascending-start
+		// components; sort members for stable output.
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// NumComponents returns the number of connected components (the number of
+// mobile groups in the paper's connectivity-based group definition).
+func (g *Graph) NumComponents() int { return len(g.Components()) }
+
+// HopCounts returns the BFS hop distance from src to every node; -1 marks
+// unreachable nodes.
+func (g *Graph) HopCounts(src int) []int {
+	if src < 0 || src >= g.N {
+		panic(fmt.Sprintf("manet: HopCounts source %d out of %d nodes", src, g.N))
+	}
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// MeanHopCount returns the average BFS hop distance over all ordered pairs
+// of distinct, mutually reachable nodes. It returns 0 for graphs with no
+// connected pair. This is the hop multiplier applied to unicast traffic in
+// the Ĉtotal cost model.
+func (g *Graph) MeanHopCount() float64 {
+	totalHops, pairs := 0, 0
+	for src := 0; src < g.N; src++ {
+		for dst, d := range g.HopCounts(src) {
+			if dst != src && d > 0 {
+				totalHops += d
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(totalHops) / float64(pairs)
+}
+
+// Eccentricity returns the maximum finite hop distance from src (0 if src
+// is isolated).
+func (g *Graph) Eccentricity(src int) int {
+	max := 0
+	for _, d := range g.HopCounts(src) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the maximum eccentricity over all nodes: the worst-case
+// flooding depth.
+func (g *Graph) Diameter() int {
+	max := 0
+	for v := 0; v < g.N; v++ {
+		if e := g.Eccentricity(v); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// MeanDegree returns the average neighbor count, the local contention
+// indicator used when estimating status-exchange traffic.
+func (g *Graph) MeanDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	total := 0
+	for _, nb := range g.Adj {
+		total += len(nb)
+	}
+	return float64(total) / float64(g.N)
+}
+
+// MulticastHops estimates the number of link transmissions needed to
+// deliver one message from src to every other node of its component, using
+// the BFS tree (each non-root member of the component costs one
+// transmission along the tree). This drives the group-communication and
+// broadcast cost components.
+func (g *Graph) MulticastHops(src int) int {
+	count := 0
+	for dst, d := range g.HopCounts(src) {
+		if dst != src && d > 0 {
+			count++
+		}
+	}
+	return count
+}

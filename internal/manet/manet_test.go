@@ -1,0 +1,202 @@
+package manet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mobility"
+)
+
+func linePositions(n int, spacing float64) []mobility.Point {
+	pts := make([]mobility.Point, n)
+	for i := range pts {
+		pts[i] = mobility.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return pts
+}
+
+func TestConnectivityChain(t *testing.T) {
+	// Nodes 100 m apart with 150 m range: a path graph.
+	g := ConnectivityGraph(linePositions(5, 100), 150)
+	if g.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", g.NumComponents())
+	}
+	for i := 0; i < 5; i++ {
+		wantDeg := 2
+		if i == 0 || i == 4 {
+			wantDeg = 1
+		}
+		if len(g.Adj[i]) != wantDeg {
+			t.Errorf("node %d degree %d, want %d", i, len(g.Adj[i]), wantDeg)
+		}
+	}
+}
+
+func TestConnectivityDisconnected(t *testing.T) {
+	pts := []mobility.Point{{X: 0}, {X: 10}, {X: 1000}, {X: 1010}}
+	g := ConnectivityGraph(pts, 50)
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if comps[0][0] != 0 || comps[0][1] != 1 || comps[1][0] != 2 || comps[1][1] != 3 {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestHopCountsPath(t *testing.T) {
+	g := ConnectivityGraph(linePositions(6, 100), 120)
+	d := g.HopCounts(0)
+	for i := 0; i < 6; i++ {
+		if d[i] != i {
+			t.Errorf("hop to %d = %d, want %d", i, d[i], i)
+		}
+	}
+}
+
+func TestHopCountsUnreachable(t *testing.T) {
+	pts := []mobility.Point{{X: 0}, {X: 1000}}
+	g := ConnectivityGraph(pts, 50)
+	d := g.HopCounts(0)
+	if d[1] != -1 {
+		t.Errorf("unreachable hop = %d, want -1", d[1])
+	}
+}
+
+func TestHopCountsBadSourcePanics(t *testing.T) {
+	g := ConnectivityGraph(linePositions(2, 10), 50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad source did not panic")
+		}
+	}()
+	g.HopCounts(5)
+}
+
+func TestMeanHopCountPath(t *testing.T) {
+	// Path of 4 nodes: ordered-pair distances: 1,2,3 / 1,1,2 / 2,1,1 /
+	// 3,2,1 => total 20 over 12 pairs = 5/3.
+	g := ConnectivityGraph(linePositions(4, 100), 120)
+	if got, want := g.MeanHopCount(), 20.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanHopCount = %v, want %v", got, want)
+	}
+}
+
+func TestMeanHopCountEmpty(t *testing.T) {
+	pts := []mobility.Point{{X: 0}, {X: 1000}}
+	g := ConnectivityGraph(pts, 50)
+	if got := g.MeanHopCount(); got != 0 {
+		t.Errorf("MeanHopCount disconnected = %v, want 0", got)
+	}
+}
+
+func TestDiameterAndEccentricity(t *testing.T) {
+	g := ConnectivityGraph(linePositions(5, 100), 120)
+	if got := g.Diameter(); got != 4 {
+		t.Errorf("Diameter = %d, want 4", got)
+	}
+	if got := g.Eccentricity(2); got != 2 {
+		t.Errorf("Eccentricity(mid) = %d, want 2", got)
+	}
+}
+
+func TestMeanDegree(t *testing.T) {
+	// Triangle: all degree 2.
+	pts := []mobility.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}}
+	g := ConnectivityGraph(pts, 15)
+	if got := g.MeanDegree(); got != 2 {
+		t.Errorf("MeanDegree = %v, want 2", got)
+	}
+}
+
+func TestMulticastHops(t *testing.T) {
+	g := ConnectivityGraph(linePositions(5, 100), 120)
+	// BFS-tree delivery from node 0 reaches 4 others: 4 transmissions.
+	if got := g.MulticastHops(0); got != 4 {
+		t.Errorf("MulticastHops = %d, want 4", got)
+	}
+	// Disconnected node contributes nothing.
+	pts := append(linePositions(3, 100), mobility.Point{X: 1e6})
+	g2 := ConnectivityGraph(pts, 120)
+	if got := g2.MulticastHops(0); got != 2 {
+		t.Errorf("MulticastHops with stray node = %d, want 2", got)
+	}
+}
+
+func TestCalibrateBasics(t *testing.T) {
+	gd, err := Calibrate(CalibrateOpts{
+		Nodes:      25,
+		RadioRange: 250,
+		Duration:   1200,
+		Dt:         10,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.MeanGroups < 1 {
+		t.Errorf("MeanGroups = %v, want >= 1", gd.MeanGroups)
+	}
+	if gd.MaxGroups < 1 {
+		t.Errorf("MaxGroups = %d", gd.MaxGroups)
+	}
+	if gd.PartitionRate < 0 || gd.MergeRate < 0 {
+		t.Errorf("negative rates: %+v", gd)
+	}
+	if gd.MeanHops < 1 {
+		t.Errorf("MeanHops = %v, want >= 1 (at least one pair connected)", gd.MeanHops)
+	}
+	if gd.Samples != 121 {
+		t.Errorf("Samples = %d, want 121", gd.Samples)
+	}
+}
+
+func TestCalibratePartitionMergeBalance(t *testing.T) {
+	// Over a long run of a stationary mobility process, births and deaths
+	// of groups must roughly balance (the component count is bounded).
+	gd, err := Calibrate(CalibrateOpts{
+		Nodes:      15,
+		RadioRange: 280,
+		Duration:   6000,
+		Dt:         10,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, m := gd.PartitionRate, gd.MergeRate
+	if p == 0 && m == 0 {
+		t.Skip("no dynamics observed at this density; nothing to balance")
+	}
+	diff := math.Abs(p-m) * gd.Duration // difference in event counts
+	if diff > float64(gd.MaxGroups)+1 {
+		t.Errorf("partition/merge counts unbalanced: %v vs %v (diff %v events)", p, m, diff)
+	}
+}
+
+func TestCalibrateDenserRangeFewerGroups(t *testing.T) {
+	run := func(r float64) float64 {
+		gd, err := Calibrate(CalibrateOpts{Nodes: 20, RadioRange: r, Duration: 2000, Dt: 10, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gd.MeanGroups
+	}
+	sparse := run(120)
+	dense := run(600)
+	if dense > sparse {
+		t.Errorf("denser radio range gives more groups: %v > %v", dense, sparse)
+	}
+	if dense > 1.2 {
+		t.Errorf("600 m range over 500 m disc should be ~1 group, got %v", dense)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(CalibrateOpts{Nodes: 1, RadioRange: 100}); err == nil {
+		t.Error("1 node accepted")
+	}
+	if _, err := Calibrate(CalibrateOpts{Nodes: 5, RadioRange: 0}); err == nil {
+		t.Error("zero range accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package mobility implements the random waypoint mobility model the paper
+// assumes for nodes of the mobile group ("Each node moves according to the
+// random waypoint mobility model", Section 5): each node repeatedly picks a
+// uniform destination in the operational region, travels to it in a
+// straight line at a uniformly drawn speed, pauses, and repeats.
+//
+// The paper's operational area is a disc of radius 500 m; the package also
+// supports rectangular regions for experimentation.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a 2-D position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Region is the operational area nodes roam in.
+type Region interface {
+	// Sample draws a uniform point inside the region.
+	Sample(rng *rand.Rand) Point
+	// Contains reports whether p lies inside the region.
+	Contains(p Point) bool
+	// Area returns the region's area in square meters.
+	Area() float64
+}
+
+// Disc is a circular region centered at the origin, the paper's default
+// (radius 500 m).
+type Disc struct {
+	Radius float64
+}
+
+// Sample draws a uniform point in the disc using the sqrt radial trick.
+func (d Disc) Sample(rng *rand.Rand) Point {
+	r := d.Radius * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	return Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+}
+
+// Contains reports whether p lies inside the disc.
+func (d Disc) Contains(p Point) bool {
+	return math.Hypot(p.X, p.Y) <= d.Radius+1e-9
+}
+
+// Area returns pi r^2.
+func (d Disc) Area() float64 { return math.Pi * d.Radius * d.Radius }
+
+// Rect is an axis-aligned rectangle with one corner at the origin.
+type Rect struct {
+	Width, Height float64
+}
+
+// Sample draws a uniform point in the rectangle.
+func (r Rect) Sample(rng *rand.Rand) Point {
+	return Point{X: r.Width * rng.Float64(), Y: r.Height * rng.Float64()}
+}
+
+// Contains reports whether p lies inside the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= -1e-9 && p.X <= r.Width+1e-9 && p.Y >= -1e-9 && p.Y <= r.Height+1e-9
+}
+
+// Area returns width * height.
+func (r Rect) Area() float64 { return r.Width * r.Height }
+
+// Config parameterizes the random waypoint model.
+type Config struct {
+	Region   Region
+	MinSpeed float64 // m/s; must be > 0 to avoid the RWP speed-decay pathology
+	MaxSpeed float64 // m/s
+	MinPause float64 // s
+	MaxPause float64 // s
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	if c.Region == nil {
+		return fmt.Errorf("mobility: nil region")
+	}
+	if c.MinSpeed <= 0 {
+		return fmt.Errorf("mobility: MinSpeed must be > 0 (speed-decay pathology), got %v", c.MinSpeed)
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: MaxSpeed %v < MinSpeed %v", c.MaxSpeed, c.MinSpeed)
+	}
+	if c.MinPause < 0 || c.MaxPause < c.MinPause {
+		return fmt.Errorf("mobility: bad pause range [%v, %v]", c.MinPause, c.MaxPause)
+	}
+	return nil
+}
+
+// DefaultConfig returns the configuration used for the paper's environment:
+// a 500 m-radius disc with pedestrian-to-vehicle speeds (1-10 m/s) and
+// short pauses, typical for the mission-oriented scenarios in the paper's
+// introduction (rescue teams, soldiers, robots).
+func DefaultConfig() Config {
+	return Config{
+		Region:   Disc{Radius: 500},
+		MinSpeed: 1,
+		MaxSpeed: 10,
+		MinPause: 0,
+		MaxPause: 30,
+	}
+}
+
+// nodeState is the per-node waypoint progress.
+type nodeState struct {
+	pos       Point
+	dest      Point
+	speed     float64
+	pauseLeft float64
+}
+
+// State is a snapshot-evolving random waypoint simulation of n nodes.
+type State struct {
+	cfg   Config
+	nodes []nodeState
+	rng   *rand.Rand
+	now   float64
+}
+
+// NewState places n nodes uniformly in the region with fresh waypoints.
+func NewState(cfg Config, n int, seed int64) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("mobility: need at least 1 node, got %d", n)
+	}
+	s := &State{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	s.nodes = make([]nodeState, n)
+	for i := range s.nodes {
+		s.nodes[i].pos = cfg.Region.Sample(s.rng)
+		s.assignWaypoint(&s.nodes[i])
+	}
+	return s, nil
+}
+
+func (s *State) assignWaypoint(n *nodeState) {
+	n.dest = s.cfg.Region.Sample(s.rng)
+	n.speed = s.cfg.MinSpeed + (s.cfg.MaxSpeed-s.cfg.MinSpeed)*s.rng.Float64()
+	n.pauseLeft = 0
+}
+
+// NumNodes returns the node count.
+func (s *State) NumNodes() int { return len(s.nodes) }
+
+// Now returns the simulated time in seconds.
+func (s *State) Now() float64 { return s.now }
+
+// Positions returns a copy of the current node positions.
+func (s *State) Positions() []Point {
+	out := make([]Point, len(s.nodes))
+	for i := range s.nodes {
+		out[i] = s.nodes[i].pos
+	}
+	return out
+}
+
+// Step advances the simulation by dt seconds, handling waypoint arrivals
+// and pauses inside the interval.
+func (s *State) Step(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("mobility: negative dt %v", dt))
+	}
+	for i := range s.nodes {
+		s.stepNode(&s.nodes[i], dt)
+	}
+	s.now += dt
+}
+
+func (s *State) stepNode(n *nodeState, dt float64) {
+	remaining := dt
+	for remaining > 1e-12 {
+		if n.pauseLeft > 0 {
+			if n.pauseLeft >= remaining {
+				n.pauseLeft -= remaining
+				return
+			}
+			remaining -= n.pauseLeft
+			n.pauseLeft = 0
+			s.assignWaypoint(n)
+			continue
+		}
+		d := n.pos.Dist(n.dest)
+		travel := n.speed * remaining
+		if travel < d {
+			// Move partway toward the destination.
+			f := travel / d
+			n.pos.X += (n.dest.X - n.pos.X) * f
+			n.pos.Y += (n.dest.Y - n.pos.Y) * f
+			return
+		}
+		// Arrive, consume the travel time, then pause.
+		if n.speed > 0 {
+			remaining -= d / n.speed
+		}
+		n.pos = n.dest
+		n.pauseLeft = s.cfg.MinPause + (s.cfg.MaxPause-s.cfg.MinPause)*s.rng.Float64()
+		if n.pauseLeft <= 0 {
+			// Zero-pause configurations must pick the next waypoint
+			// immediately or the loop would spin at distance zero.
+			s.assignWaypoint(n)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscSampleInside(t *testing.T) {
+	d := Disc{Radius: 500}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p := d.Sample(rng)
+		if !d.Contains(p) {
+			t.Fatalf("sample %v outside disc", p)
+		}
+	}
+}
+
+func TestDiscSampleUniform(t *testing.T) {
+	// Uniformity in area: the inner disc of radius R/2 must hold ~25% of
+	// samples.
+	d := Disc{Radius: 100}
+	rng := rand.New(rand.NewSource(2))
+	n, inner := 200000, 0
+	for i := 0; i < n; i++ {
+		p := d.Sample(rng)
+		if math.Hypot(p.X, p.Y) <= 50 {
+			inner++
+		}
+	}
+	frac := float64(inner) / float64(n)
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("inner-quarter fraction %v, want ~0.25", frac)
+	}
+}
+
+func TestRectSampleInside(t *testing.T) {
+	r := Rect{Width: 300, Height: 200}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		p := r.Sample(rng)
+		if !r.Contains(p) {
+			t.Fatalf("sample %v outside rect", p)
+		}
+	}
+	if r.Area() != 60000 {
+		t.Errorf("Area = %v", r.Area())
+	}
+}
+
+func TestDiscArea(t *testing.T) {
+	d := Disc{Radius: 2}
+	if math.Abs(d.Area()-4*math.Pi) > 1e-12 {
+		t.Errorf("Area = %v", d.Area())
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	if got := (Point{0, 0}).Dist(Point{3, 4}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := DefaultConfig()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Region: nil, MinSpeed: 1, MaxSpeed: 2},
+		{Region: Disc{500}, MinSpeed: 0, MaxSpeed: 2},
+		{Region: Disc{500}, MinSpeed: 3, MaxSpeed: 2},
+		{Region: Disc{500}, MinSpeed: 1, MaxSpeed: 2, MinPause: 5, MaxPause: 1},
+		{Region: Disc{500}, MinSpeed: 1, MaxSpeed: 2, MinPause: -1, MaxPause: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState(DefaultConfig(), 0, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewState(Config{}, 5, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestNodesStayInRegionProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		cfg := DefaultConfig()
+		s, err := NewState(cfg, 10, seed)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < int(steps%50)+1; k++ {
+			s.Step(7.3)
+			for _, p := range s.Positions() {
+				if !cfg.Region.Contains(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepAdvancesTime(t *testing.T) {
+	s, err := NewState(DefaultConfig(), 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(10)
+	s.Step(2.5)
+	if got := s.Now(); got != 12.5 {
+		t.Errorf("Now = %v, want 12.5", got)
+	}
+	if s.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", s.NumNodes())
+	}
+}
+
+func TestNodesActuallyMove(t *testing.T) {
+	cfg := Config{Region: Disc{Radius: 500}, MinSpeed: 5, MaxSpeed: 5, MinPause: 0, MaxPause: 0}
+	s, err := NewState(cfg, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Positions()
+	s.Step(10)
+	after := s.Positions()
+	moved := 0
+	for i := range before {
+		if before[i].Dist(after[i]) > 1 {
+			moved++
+		}
+	}
+	if moved < 15 {
+		t.Errorf("only %d/20 nodes moved", moved)
+	}
+}
+
+func TestSpeedBoundRespected(t *testing.T) {
+	// With zero pause and fixed speed, displacement over dt cannot exceed
+	// speed*dt (straight-line travel, possibly with turns shortens it).
+	cfg := Config{Region: Disc{Radius: 500}, MinSpeed: 3, MaxSpeed: 3, MinPause: 0, MaxPause: 0}
+	s, err := NewState(cfg, 30, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		before := s.Positions()
+		dt := 4.0
+		s.Step(dt)
+		after := s.Positions()
+		for i := range before {
+			if d := before[i].Dist(after[i]); d > 3*dt+1e-6 {
+				t.Fatalf("node %d moved %v > speed*dt=%v", i, d, 3*dt)
+			}
+		}
+	}
+}
+
+func TestPausingHolds(t *testing.T) {
+	// With enormous pauses, after arriving once nodes freeze.
+	cfg := Config{Region: Disc{Radius: 10}, MinSpeed: 100, MaxSpeed: 100, MinPause: 1e9, MaxPause: 1e9}
+	s, err := NewState(cfg, 5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One long step: everyone reaches a waypoint (region is tiny) and
+	// starts the giant pause.
+	s.Step(10)
+	before := s.Positions()
+	s.Step(1000)
+	after := s.Positions()
+	for i := range before {
+		if before[i].Dist(after[i]) > 1e-9 {
+			t.Fatalf("node %d moved during pause", i)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() []Point {
+		s, err := NewState(DefaultConfig(), 8, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			s.Step(5)
+		}
+		return s.Positions()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d positions differ across identical seeds", i)
+		}
+	}
+}
+
+func TestNegativeDtPanics(t *testing.T) {
+	s, _ := NewState(DefaultConfig(), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt did not panic")
+		}
+	}()
+	s.Step(-1)
+}

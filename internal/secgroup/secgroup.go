@@ -1,0 +1,193 @@
+// Package secgroup is the end-to-end secure group communication stack: it
+// composes member authentication (internal/auth), membership and view
+// management (internal/gcs), GDH.2 contributory rekeying (internal/gdh),
+// and epoch-bound group-key encryption (internal/grpkey) into the "secure
+// GCS" of Section 2.1 of the paper:
+//
+//   - joins are admitted only after a certificate + challenge/response
+//     authentication run,
+//   - every membership change (join, leave, eviction) triggers a fresh
+//     contributory key agreement among the remaining members,
+//   - group messages are sealed under the current epoch key, so departed
+//     or evicted members cannot read subsequent traffic (forward secrecy)
+//     and joiners cannot read prior traffic (backward secrecy),
+//   - a compromised but undetected member still decrypts everything —
+//     which is exactly why the paper's C1 failure condition exists.
+package secgroup
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/gcs"
+	"repro/internal/gdh"
+	"repro/internal/grpkey"
+)
+
+// Errors returned by group operations.
+var (
+	// ErrNotMember marks an operation by a node outside the group.
+	ErrNotMember = errors.New("secgroup: not an active member")
+	// ErrNoKey marks a member that holds no key for the envelope's epoch.
+	ErrNoKey = errors.New("secgroup: no key for envelope epoch")
+)
+
+// Group is a secure group communication system instance. It simulates all
+// members in one process (this is a protocol correctness substrate, not a
+// network transport).
+type Group struct {
+	authority *auth.Authority
+	dhGroup   *gdh.Group
+	members   *gcs.Group
+
+	// keyring[id] maps member -> epoch -> key material it received while
+	// a member. Departed members keep their old keys (an attacker would),
+	// but never receive new ones.
+	keyring map[int]map[uint64]*grpkey.EpochKey
+
+	now time.Time
+	// RekeyTraffic accumulates GDH wire values across the group's life,
+	// for cost accounting in examples.
+	RekeyTraffic int64
+}
+
+// New creates a secure group with the given initial members. A fresh
+// mission authority is generated; initial members are enrolled and keyed
+// without challenge/response (they deploy together).
+func New(initialMembers []int, dhGroup *gdh.Group) (*Group, error) {
+	if dhGroup == nil {
+		dhGroup = gdh.NewTestGroup()
+	}
+	authority, err := auth.NewAuthority(nil)
+	if err != nil {
+		return nil, err
+	}
+	members, err := gcs.New(initialMembers)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{
+		authority: authority,
+		dhGroup:   dhGroup,
+		members:   members,
+		keyring:   make(map[int]map[uint64]*grpkey.EpochKey),
+		now:       time.Unix(0, 0).UTC(),
+	}
+	if err := g.rekey(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Authority exposes the mission authority so tests and examples can enroll
+// joiner identities.
+func (g *Group) Authority() *auth.Authority { return g.authority }
+
+// Members returns the active member IDs.
+func (g *Group) Members() []int { return g.members.Members() }
+
+// Epoch returns the current key epoch.
+func (g *Group) Epoch() uint64 { return g.members.Epoch() }
+
+// AdvanceTime moves the group's clock (used for certificate validity).
+func (g *Group) AdvanceTime(d time.Duration) { g.now = g.now.Add(d) }
+
+// rekey runs a fresh GDH agreement over the active membership and hands
+// the derived epoch key to every active member.
+func (g *Group) rekey() error {
+	active := g.members.Members()
+	if len(active) == 0 {
+		return nil
+	}
+	session, err := gdh.Run(g.dhGroup, len(active))
+	if err != nil {
+		return fmt.Errorf("secgroup: rekey agreement: %w", err)
+	}
+	g.RekeyTraffic += int64(gdh.NumValues(len(active)))
+	epoch := g.members.Epoch()
+	key, err := grpkey.Derive(session.Key(), epoch)
+	if err != nil {
+		return fmt.Errorf("secgroup: deriving epoch key: %w", err)
+	}
+	for _, id := range active {
+		if g.keyring[id] == nil {
+			g.keyring[id] = make(map[uint64]*grpkey.EpochKey)
+		}
+		g.keyring[id][epoch] = key
+	}
+	return nil
+}
+
+// Join admits a node after a challenge/response authentication run, then
+// rekeys (backward secrecy: the joiner receives only the new epoch key).
+func (g *Group) Join(identity *auth.Identity) error {
+	challenge, err := auth.NewChallenge(nil)
+	if err != nil {
+		return err
+	}
+	resp := identity.Respond(challenge)
+	id, err := auth.VerifyResponse(g.authority.PublicKey(), challenge, resp, g.now)
+	if err != nil {
+		return fmt.Errorf("secgroup: join authentication: %w", err)
+	}
+	if _, err := g.members.Join(id); err != nil {
+		return err
+	}
+	return g.rekey()
+}
+
+// Leave removes a voluntarily departing member and rekeys.
+func (g *Group) Leave(id int) error {
+	if _, err := g.members.Leave(id); err != nil {
+		return err
+	}
+	return g.rekey()
+}
+
+// Evict forcibly removes a member (an IDS verdict) and rekeys. The node is
+// banned from rejoining by the membership layer.
+func (g *Group) Evict(id int) error {
+	if _, err := g.members.Evict(id); err != nil {
+		return err
+	}
+	return g.rekey()
+}
+
+// Compromise marks a member as compromised (attacker-side state). The node
+// keeps participating — and decrypting — until IDS evicts it.
+func (g *Group) Compromise(id int) error { return g.members.Compromise(id) }
+
+// Send seals a message from an active member under the current epoch key.
+func (g *Group) Send(sender int, plaintext []byte) (grpkey.Envelope, error) {
+	st, ok := g.members.Status(sender)
+	if !ok || (st != gcs.StatusTrusted && st != gcs.StatusCompromised) {
+		return grpkey.Envelope{}, ErrNotMember
+	}
+	key := g.keyring[sender][g.members.Epoch()]
+	if key == nil {
+		return grpkey.Envelope{}, ErrNoKey
+	}
+	return key.Seal(nil, plaintext, senderAAD(sender))
+}
+
+// Receive opens an envelope with whatever key material the given node
+// holds for the envelope's epoch — whether or not the node is still a
+// member. This models the adversary's capability honestly: possession of
+// key material, not membership status, decides decryption.
+func (g *Group) Receive(node int, env grpkey.Envelope, sender int) ([]byte, error) {
+	ring := g.keyring[node]
+	if ring == nil {
+		return nil, ErrNoKey
+	}
+	key := ring[env.Epoch]
+	if key == nil {
+		return nil, ErrNoKey
+	}
+	return key.Open(env, senderAAD(sender))
+}
+
+func senderAAD(sender int) []byte {
+	return []byte(fmt.Sprintf("sender=%d", sender))
+}

@@ -1,0 +1,234 @@
+package secgroup
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/grpkey"
+)
+
+var farFuture = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newGroup(t *testing.T, ids ...int) *Group {
+	t.Helper()
+	g, err := New(ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMembersCanExchangeMessages(t *testing.T) {
+	g := newGroup(t, 1, 2, 3)
+	env, err := g.Send(1, []byte("rally at checkpoint bravo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, receiver := range []int{2, 3} {
+		pt, err := g.Receive(receiver, env, 1)
+		if err != nil {
+			t.Fatalf("member %d cannot read group traffic: %v", receiver, err)
+		}
+		if !bytes.Equal(pt, []byte("rally at checkpoint bravo")) {
+			t.Fatalf("member %d got %q", receiver, pt)
+		}
+	}
+}
+
+func TestNonMemberCannotSendOrReceive(t *testing.T) {
+	g := newGroup(t, 1, 2)
+	if _, err := g.Send(99, []byte("x")); err != ErrNotMember {
+		t.Fatalf("outsider send returned %v", err)
+	}
+	env, err := g.Send(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(99, env, 1); err != ErrNoKey {
+		t.Fatalf("outsider receive returned %v", err)
+	}
+}
+
+func TestForwardSecrecyAfterEviction(t *testing.T) {
+	g := newGroup(t, 1, 2, 3)
+	// Node 3 reads traffic fine before eviction.
+	before, err := g.Send(1, []byte("pre-eviction"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(3, before, 1); err != nil {
+		t.Fatalf("member read failed: %v", err)
+	}
+	// IDS evicts node 3: the group rekeys.
+	if err := g.Evict(3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := g.Send(1, []byte("post-eviction plans"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(3, after, 1); err != ErrNoKey {
+		t.Fatalf("evicted node decrypted new traffic (err=%v)", err)
+	}
+	// Remaining members still communicate.
+	if _, err := g.Receive(2, after, 1); err != nil {
+		t.Fatalf("remaining member read failed: %v", err)
+	}
+}
+
+func TestForwardSecrecyAfterVoluntaryLeave(t *testing.T) {
+	g := newGroup(t, 1, 2, 3)
+	if err := g.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	env, err := g.Send(1, []byte("after departure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(2, env, 1); err != ErrNoKey {
+		t.Fatalf("departed node decrypted new traffic (err=%v)", err)
+	}
+}
+
+func TestBackwardSecrecyForJoiner(t *testing.T) {
+	g := newGroup(t, 1, 2)
+	old, err := g.Send(1, []byte("before the join"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.Authority().Enroll(7, farFuture, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(id); err != nil {
+		t.Fatal(err)
+	}
+	// The joiner reads new traffic...
+	fresh, err := g.Send(2, []byte("after the join"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(7, fresh, 2); err != nil {
+		t.Fatalf("joiner cannot read current traffic: %v", err)
+	}
+	// ...but not the envelope recorded before it joined.
+	if _, err := g.Receive(7, old, 1); err != ErrNoKey {
+		t.Fatalf("joiner decrypted pre-join traffic (err=%v)", err)
+	}
+}
+
+func TestJoinRequiresAuthentication(t *testing.T) {
+	g := newGroup(t, 1)
+	// An identity enrolled under a DIFFERENT authority must be refused.
+	other := newGroup(t, 9)
+	foreign, err := other.Authority().Enroll(5, farFuture, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(foreign); err == nil {
+		t.Fatal("foreign identity admitted")
+	}
+	// An expired certificate must be refused.
+	expired, err := g.Authority().Enroll(6, time.Unix(0, 0).UTC().Add(-time.Hour), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(expired); err == nil {
+		t.Fatal("expired certificate admitted")
+	}
+}
+
+func TestEvictedCannotRejoinEvenAuthenticated(t *testing.T) {
+	g := newGroup(t, 1, 2)
+	if err := g.Evict(2); err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.Authority().Enroll(2, farFuture, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(id); err == nil {
+		t.Fatal("evicted node rejoined with valid credentials")
+	}
+}
+
+func TestCompromisedUndetectedMemberStillDecrypts(t *testing.T) {
+	// The premise of failure condition C1: until IDS evicts it, a
+	// compromised member is cryptographically indistinguishable from a
+	// healthy one and reads everything.
+	g := newGroup(t, 1, 2, 3)
+	if err := g.Compromise(3); err != nil {
+		t.Fatal(err)
+	}
+	env, err := g.Send(1, []byte("the leak IDS must race"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := g.Receive(3, env, 1)
+	if err != nil {
+		t.Fatalf("compromised member blocked before detection: %v", err)
+	}
+	if !bytes.Equal(pt, []byte("the leak IDS must race")) {
+		t.Fatal("plaintext mismatch")
+	}
+	// After eviction the leak channel closes.
+	if err := g.Evict(3); err != nil {
+		t.Fatal(err)
+	}
+	env2, err := g.Send(1, []byte("post-detection"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(3, env2, 1); err != ErrNoKey {
+		t.Fatalf("evicted attacker still decrypts (err=%v)", err)
+	}
+}
+
+func TestEpochAdvancesPerChange(t *testing.T) {
+	g := newGroup(t, 1, 2, 3)
+	e0 := g.Epoch()
+	if err := g.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != e0+1 {
+		t.Errorf("epoch %d after leave, want %d", g.Epoch(), e0+1)
+	}
+	id, err := g.Authority().Enroll(4, farFuture, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(id); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != e0+2 {
+		t.Errorf("epoch %d after join, want %d", g.Epoch(), e0+2)
+	}
+}
+
+func TestRekeyTrafficAccumulates(t *testing.T) {
+	g := newGroup(t, 1, 2, 3, 4)
+	before := g.RekeyTraffic
+	if before <= 0 {
+		t.Fatal("initial key agreement recorded no traffic")
+	}
+	if err := g.Leave(4); err != nil {
+		t.Fatal(err)
+	}
+	if g.RekeyTraffic <= before {
+		t.Error("rekey recorded no traffic")
+	}
+}
+
+func TestSenderBindingAAD(t *testing.T) {
+	// An insider replaying a captured envelope under a different claimed
+	// sender must fail authentication (AAD binds the sender).
+	g := newGroup(t, 1, 2)
+	env, err := g.Send(1, []byte("signed by 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Receive(2, env, 99); err != grpkey.ErrDecrypt {
+		t.Fatalf("sender spoof returned %v, want ErrDecrypt", err)
+	}
+}

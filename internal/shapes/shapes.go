@@ -1,0 +1,142 @@
+// Package shapes implements the attacker-strength and detection-strength
+// shape functions of Section 4.1 of the paper: logarithmic, linear, and
+// polynomial growth of the node-compromising rate A(mc) and of the IDS
+// invocation rate D(md).
+//
+// The paper normalizes both families so that the linear member passes
+// through the base rate at argument 1 (one "unit" of compromise pressure).
+// Its logarithmic member as literally written, λc·log_p(mc), is degenerate
+// at mc = 1 (rate zero, so the attack never starts); we therefore use the
+// shifted form log_p(x + p − 1), which equals 1 at x = 1 and preserves the
+// ordering log < linear < poly for x > 1 that the paper's analysis relies
+// on. The substitution is recorded in DESIGN.md.
+package shapes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects one of the three growth shapes.
+type Kind int
+
+const (
+	// Logarithmic grows like log_p(x + p - 1): the conservative shape.
+	Logarithmic Kind = iota
+	// Linear grows like x: the paper's reference shape.
+	Linear
+	// Polynomial grows like x^p: the aggressive shape.
+	Polynomial
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Logarithmic:
+		return "logarithmic"
+	case Linear:
+		return "linear"
+	case Polynomial:
+		return "polynomial"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a string (as used in CLI flags) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "log", "logarithmic":
+		return Logarithmic, nil
+	case "linear":
+		return Linear, nil
+	case "poly", "polynomial", "exponential":
+		return Polynomial, nil
+	default:
+		return 0, fmt.Errorf("shapes: unknown kind %q (want log|linear|poly)", s)
+	}
+}
+
+// Kinds lists the three shapes in the order the paper plots them.
+func Kinds() []Kind { return []Kind{Logarithmic, Linear, Polynomial} }
+
+// DefaultP is the base index parameter the paper selects ("we choose p=3").
+const DefaultP = 3.0
+
+// grow evaluates the normalized shape g(x) with g(1) = 1 for every kind.
+// Arguments below 1 are clamped to 1: both mc and md are >= 1 by
+// construction, and clamping keeps numerical noise out of the rates.
+func grow(k Kind, x, p float64) float64 {
+	if x < 1 {
+		x = 1
+	}
+	switch k {
+	case Logarithmic:
+		return math.Log(x+p-1) / math.Log(p)
+	case Linear:
+		return x
+	case Polynomial:
+		return math.Pow(x, p)
+	default:
+		panic(fmt.Sprintf("shapes: invalid kind %d", int(k)))
+	}
+}
+
+// Attacker is the attacker function A(mc): the rate at which nodes are
+// compromised, given the compromise pressure mc = (Tm + UCm) / Tm.
+type Attacker struct {
+	Kind    Kind
+	LambdaC float64 // base compromising rate (per second)
+	P       float64 // shape index; DefaultP when zero
+}
+
+// Rate returns A(mc) in compromises per second.
+func (a Attacker) Rate(mc float64) float64 {
+	p := a.P
+	if p == 0 {
+		p = DefaultP
+	}
+	return a.LambdaC * grow(a.Kind, mc, p)
+}
+
+// Pressure computes mc from the token counts of the SPN model:
+// mc = (mark(Tm) + mark(UCm)) / mark(Tm). When no trusted member remains
+// the pressure is pinned to its polynomial-dominating maximum, tm+uc, to
+// keep the model finite.
+func Pressure(tm, uc int) float64 {
+	if tm <= 0 {
+		return float64(tm + uc)
+	}
+	return float64(tm+uc) / float64(tm)
+}
+
+// Detection is the detection function D(md): the rate at which voting-based
+// IDS rounds are invoked, given the eviction pressure
+// md = Ninit / (Tm + UCm).
+type Detection struct {
+	Kind Kind
+	TIDS float64 // base detection interval (seconds)
+	P    float64 // shape index; DefaultP when zero
+}
+
+// Rate returns D(md) in IDS invocations per second.
+func (d Detection) Rate(md float64) float64 {
+	p := d.P
+	if p == 0 {
+		p = DefaultP
+	}
+	if d.TIDS <= 0 {
+		panic(fmt.Sprintf("shapes: non-positive TIDS %v", d.TIDS))
+	}
+	return grow(d.Kind, md, p) / d.TIDS
+}
+
+// EvictionPressure computes md from the SPN token counts:
+// md = Ninit / (mark(Tm) + mark(UCm)); pinned to Ninit when the group has
+// emptied.
+func EvictionPressure(nInit, tm, uc int) float64 {
+	if tm+uc <= 0 {
+		return float64(nInit)
+	}
+	return float64(nInit) / float64(tm+uc)
+}

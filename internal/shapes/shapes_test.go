@@ -1,0 +1,160 @@
+package shapes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Logarithmic.String() != "logarithmic" || Linear.String() != "linear" || Polynomial.String() != "polynomial" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("invalid kind String wrong")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range []string{"log", "logarithmic"} {
+		if k, err := ParseKind(s); err != nil || k != Logarithmic {
+			t.Errorf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if k, err := ParseKind("linear"); err != nil || k != Linear {
+		t.Errorf("ParseKind(linear) = %v, %v", k, err)
+	}
+	for _, s := range []string{"poly", "polynomial", "exponential"} {
+		if k, err := ParseKind(s); err != nil || k != Polynomial {
+			t.Errorf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) accepted")
+	}
+}
+
+func TestNormalizationAtOne(t *testing.T) {
+	// All three attacker shapes return exactly lambdaC at mc = 1.
+	lc := 1.0 / (12 * 3600)
+	for _, k := range Kinds() {
+		a := Attacker{Kind: k, LambdaC: lc}
+		if got := a.Rate(1); math.Abs(got-lc) > 1e-18 {
+			t.Errorf("%v attacker at mc=1: %v, want %v", k, got, lc)
+		}
+	}
+	// All three detection shapes return exactly 1/TIDS at md = 1.
+	for _, k := range Kinds() {
+		d := Detection{Kind: k, TIDS: 120}
+		if got := d.Rate(1); math.Abs(got-1.0/120) > 1e-18 {
+			t.Errorf("%v detection at md=1: %v, want %v", k, got, 1.0/120)
+		}
+	}
+}
+
+func TestShapeOrderingAboveOne(t *testing.T) {
+	// For x > 1: log < linear < poly — the property the paper's Figures 4
+	// and 5 discussion depends on.
+	a := map[Kind]Attacker{}
+	for _, k := range Kinds() {
+		a[k] = Attacker{Kind: k, LambdaC: 1}
+	}
+	for _, x := range []float64{1.01, 1.5, 2, 3, 10, 50} {
+		lg, ln, pl := a[Logarithmic].Rate(x), a[Linear].Rate(x), a[Polynomial].Rate(x)
+		if !(lg < ln && ln < pl) {
+			t.Errorf("ordering violated at x=%v: log=%v linear=%v poly=%v", x, lg, ln, pl)
+		}
+	}
+}
+
+func TestShapesMonotoneProperty(t *testing.T) {
+	f := func(x1Raw, x2Raw float64, kRaw uint8) bool {
+		x1 := 1 + math.Abs(x1Raw)
+		x2 := x1 + math.Abs(x2Raw)
+		if math.IsInf(x2, 0) || math.IsNaN(x2) {
+			return true
+		}
+		k := Kind(int(kRaw) % 3)
+		a := Attacker{Kind: k, LambdaC: 2.5}
+		return a.Rate(x2) >= a.Rate(x1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampBelowOne(t *testing.T) {
+	a := Attacker{Kind: Polynomial, LambdaC: 3}
+	if got, want := a.Rate(0.2), a.Rate(1); got != want {
+		t.Errorf("Rate(0.2) = %v, want clamped %v", got, want)
+	}
+}
+
+func TestPolynomialUsesIndexP(t *testing.T) {
+	a := Attacker{Kind: Polynomial, LambdaC: 1, P: 2}
+	if got := a.Rate(3); math.Abs(got-9) > 1e-12 {
+		t.Errorf("x^2 at 3 = %v, want 9", got)
+	}
+	a.P = 0 // default p=3
+	if got := a.Rate(2); math.Abs(got-8) > 1e-12 {
+		t.Errorf("x^3 at 2 = %v, want 8", got)
+	}
+}
+
+func TestLogarithmicShiftedForm(t *testing.T) {
+	// log_3(x + 2): at x = 7 -> log_3(9) = 2.
+	a := Attacker{Kind: Logarithmic, LambdaC: 1}
+	if got := a.Rate(7); math.Abs(got-2) > 1e-12 {
+		t.Errorf("log shape at 7 = %v, want 2", got)
+	}
+}
+
+func TestPressure(t *testing.T) {
+	if got := Pressure(10, 0); got != 1 {
+		t.Errorf("Pressure(10,0) = %v, want 1", got)
+	}
+	if got := Pressure(8, 4); math.Abs(got-1.5) > 1e-15 {
+		t.Errorf("Pressure(8,4) = %v, want 1.5", got)
+	}
+	if got := Pressure(0, 5); got != 5 {
+		t.Errorf("Pressure(0,5) = %v, want 5 (pinned)", got)
+	}
+}
+
+func TestEvictionPressure(t *testing.T) {
+	if got := EvictionPressure(100, 100, 0); got != 1 {
+		t.Errorf("EvictionPressure full group = %v, want 1", got)
+	}
+	if got := EvictionPressure(100, 40, 10); got != 2 {
+		t.Errorf("EvictionPressure half group = %v, want 2", got)
+	}
+	if got := EvictionPressure(100, 0, 0); got != 100 {
+		t.Errorf("EvictionPressure empty group = %v, want 100 (pinned)", got)
+	}
+}
+
+func TestDetectionRateScalesWithTIDS(t *testing.T) {
+	d1 := Detection{Kind: Linear, TIDS: 60}
+	d2 := Detection{Kind: Linear, TIDS: 120}
+	if got := d1.Rate(2) / d2.Rate(2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("rate ratio = %v, want 2", got)
+	}
+}
+
+func TestDetectionPanicsOnBadTIDS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detection with TIDS=0 did not panic")
+		}
+	}()
+	Detection{Kind: Linear, TIDS: 0}.Rate(1)
+}
+
+func TestInvalidKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid kind did not panic")
+		}
+	}()
+	Attacker{Kind: Kind(42), LambdaC: 1}.Rate(2)
+}

@@ -1,0 +1,485 @@
+// Package sim is the event-driven Monte Carlo counterpart of the
+// analytical model in internal/core: it simulates one mission-oriented
+// mobile group at protocol granularity — actual periodic voting rounds
+// with sampled vote panels (internal/ids), membership/key epochs
+// (internal/gcs), exponential insider-attack and data-request processes,
+// and group partition/merge dynamics — and measures the time to security
+// failure and the accumulated communication cost directly.
+//
+// It validates the SPN/CTMC analysis independently: the analytical model
+// approximates periodic IDS rounds by an exponential rate and vote
+// outcomes by the Equation 1 closed form, while this simulator draws real
+// panels and real votes round by round.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/des"
+	"repro/internal/gcs"
+	"repro/internal/gdh"
+	"repro/internal/ids"
+	"repro/internal/shapes"
+)
+
+// Outcome is the result of one simulated mission.
+type Outcome struct {
+	// TimeToFailure is the mission length in seconds.
+	TimeToFailure float64
+	// Cause reports which condition ended the mission.
+	Cause core.FailureCause
+	// Compromises, Detections, FalseEvictions count attacker and IDS
+	// activity over the mission.
+	Compromises, Detections, FalseEvictions int
+	// Leaks counts C1 data-leak events (0 or 1; the first leak ends the
+	// mission).
+	Leaks int
+	// IDSRounds counts periodic voting-IDS invocations.
+	IDSRounds int
+	// Depleted marks a mission whose group emptied (every member evicted)
+	// without a security failure — absorption without C1/C2, matching the
+	// analytical model's CauseNone absorbing states.
+	Depleted bool
+	// Partitions and Merges count group dynamics events.
+	Partitions, Merges int
+	// AvgCost is the time-averaged communication cost in hop·bits/s.
+	AvgCost float64
+}
+
+// Runner simulates missions for one configuration.
+type Runner struct {
+	cfg   core.Config
+	costP cost.Params
+	// compromisePhases selects the inter-compromise time distribution:
+	// 1 (default) is exponential; k > 1 is Erlang-k with the same mean.
+	compromisePhases int
+}
+
+// SetCompromisePhases switches the attacker's inter-compromise times from
+// exponential (k = 1) to Erlang-k with the same state-dependent mean —
+// the paper's remark that "the assumption of exponential distribution can
+// be relaxed" made concrete. For k > 1 the delay is drawn at the previous
+// compromise (the pressure mc drifts slowly between compromises, so
+// freezing the rate over one inter-arrival is a good approximation); for
+// k = 1 the exact memoryless rescheduling is used.
+func (r *Runner) SetCompromisePhases(k int) error {
+	if k < 1 {
+		return fmt.Errorf("sim: compromise phases must be >= 1, got %d", k)
+	}
+	r.compromisePhases = k
+	return nil
+}
+
+// NewRunner validates the configuration and returns a simulator.
+func NewRunner(cfg core.Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cost.DefaultParams()
+	p.LambdaQ = cfg.LambdaQ
+	p.JoinRate = cfg.JoinRate
+	p.LeaveRate = cfg.LeaveRate
+	p.GDHElementBits = cfg.GDHElementBits
+	p.MeanHops = cfg.MeanHops
+	p.MeanDegree = cfg.MeanDegree
+	p.M = cfg.M
+	return &Runner{cfg: cfg, costP: p}, nil
+}
+
+// missionState is the live state of one replication.
+type missionState struct {
+	r       *Runner
+	sim     *des.Simulator
+	rng     *des.Stream
+	group   *gcs.Group
+	nGroups int
+	detect  shapes.Detection
+	attack  shapes.Attacker
+
+	outcome Outcome
+	failed  bool
+
+	// exponential process timers, rescheduled on every state change
+	compromiseEv *des.Event
+	leakEv       *des.Event
+	partitionEv  *des.Event
+	mergeEv      *des.Event
+	idsEv        *des.Event
+
+	// cost accounting
+	lastCostT float64
+	costAccum float64
+}
+
+// Run executes one mission replication with the given seed and returns its
+// outcome. Horizon bounds the simulation (seconds); missions alive at the
+// horizon are reported with Cause == CauseNone and TimeToFailure == horizon.
+func (r *Runner) Run(seed int64, horizon float64) (*Outcome, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %v", horizon)
+	}
+	ids0 := make([]int, r.cfg.N)
+	for i := range ids0 {
+		ids0[i] = i
+	}
+	group, err := gcs.New(ids0)
+	if err != nil {
+		return nil, err
+	}
+	ms := &missionState{
+		r:       r,
+		sim:     des.New(),
+		rng:     des.NewStream(seed),
+		group:   group,
+		nGroups: 1,
+		detect:  shapes.Detection{Kind: r.cfg.Detection, TIDS: r.cfg.TIDS, P: r.cfg.ShapeP},
+		attack:  shapes.Attacker{Kind: r.cfg.Attacker, LambdaC: r.cfg.LambdaC, P: r.cfg.ShapeP},
+	}
+	ms.rescheduleRates()
+	ms.scheduleIDSRound()
+	end := ms.sim.Run(horizon)
+	ms.accrueCost(end)
+	ms.outcome.TimeToFailure = end
+	if end > 0 {
+		ms.outcome.AvgCost = ms.costAccum / end
+	}
+	return &ms.outcome, nil
+}
+
+func (ms *missionState) counts() (trusted, compromised int) {
+	return ms.group.CountByStatus(gcs.StatusTrusted), ms.group.CountByStatus(gcs.StatusCompromised)
+}
+
+// checkFailure tests C1 (handled at the leak event) and C2 and halts the
+// simulation on failure.
+func (ms *missionState) checkFailure() {
+	tm, uc := ms.counts()
+	if 2*uc > tm {
+		ms.fail(core.CauseC2)
+	}
+}
+
+func (ms *missionState) fail(cause core.FailureCause) {
+	if ms.failed {
+		return
+	}
+	ms.failed = true
+	ms.outcome.Cause = cause
+	ms.accrueCost(ms.sim.Now())
+	ms.sim.Halt()
+}
+
+// accrueCost integrates the current cost rate from lastCostT to now.
+func (ms *missionState) accrueCost(now float64) {
+	dt := now - ms.lastCostT
+	if dt <= 0 {
+		return
+	}
+	tm, uc := ms.counts()
+	size := tm + uc
+	if size > 0 {
+		perGroup := size / ms.nGroups
+		if perGroup < 1 {
+			perGroup = 1
+		}
+		md := shapes.EvictionPressure(ms.r.cfg.N, tm, uc)
+		st := cost.State{
+			GroupSize:     perGroup,
+			Groups:        ms.nGroups,
+			DetectionRate: ms.detect.Rate(md),
+			PartitionRate: ms.r.cfg.PartitionRate,
+			MergeRate:     ms.r.cfg.MergeRate,
+		}
+		ms.costAccum += ms.r.costP.Evaluate(st).Total() * dt
+	}
+	ms.lastCostT = now
+}
+
+// rescheduleRates cancels and redraws the memoryless timers after each
+// state change (exact for exponentials). The compromise timer is also
+// redrawn in exponential mode; in Erlang mode it is pinned between
+// compromises (see SetCompromisePhases) and left untouched here.
+func (ms *missionState) rescheduleRates() {
+	ms.accrueCost(ms.sim.Now())
+	cancel := []**des.Event{&ms.leakEv, &ms.partitionEv, &ms.mergeEv}
+	if ms.r.compromisePhases <= 1 {
+		cancel = append(cancel, &ms.compromiseEv)
+	}
+	for _, ev := range cancel {
+		ms.sim.Cancel(*ev)
+		*ev = nil
+	}
+	if ms.failed {
+		return
+	}
+	tm, uc := ms.counts()
+	if tm > 0 && ms.compromiseEv == nil {
+		rate := ms.attack.Rate(shapes.Pressure(tm, uc))
+		k := ms.r.compromisePhases
+		if k <= 1 {
+			ms.compromiseEv = ms.sim.ScheduleAfter(ms.rng.Exp(rate), "compromise", ms.onCompromise)
+		} else {
+			delay := 0.0
+			for i := 0; i < k; i++ {
+				delay += ms.rng.Exp(float64(k) * rate)
+			}
+			ms.compromiseEv = ms.sim.ScheduleAfter(delay, "compromise", ms.onCompromise)
+		}
+	}
+	if uc > 0 {
+		rate := ms.r.cfg.P1 * ms.r.cfg.LambdaQ * float64(uc)
+		if rate > 0 {
+			ms.leakEv = ms.sim.ScheduleAfter(ms.rng.Exp(rate), "leak", ms.onLeak)
+		}
+	}
+	if ms.nGroups < ms.r.cfg.MaxGroups && tm+uc >= 2*(ms.nGroups+1) && ms.r.cfg.PartitionRate > 0 {
+		ms.partitionEv = ms.sim.ScheduleAfter(ms.rng.Exp(ms.r.cfg.PartitionRate), "partition", ms.onPartition)
+	}
+	if ms.nGroups > 1 && ms.r.cfg.MergeRate > 0 {
+		rate := ms.r.cfg.MergeRate * float64(ms.nGroups-1)
+		ms.mergeEv = ms.sim.ScheduleAfter(ms.rng.Exp(rate), "merge", ms.onMerge)
+	}
+}
+
+func (ms *missionState) onCompromise(now float64) {
+	ms.compromiseEv = nil // this firing consumed the pinned/active timer
+	trusted := ms.trustedIDs()
+	if len(trusted) == 0 {
+		return
+	}
+	node := trusted[ms.rng.Pick(len(trusted))]
+	if err := ms.group.Compromise(node); err == nil {
+		ms.outcome.Compromises++
+	}
+	ms.checkFailure()
+	ms.rescheduleRates()
+}
+
+func (ms *missionState) onLeak(float64) {
+	ms.outcome.Leaks++
+	ms.fail(core.CauseC1)
+}
+
+func (ms *missionState) onPartition(float64) {
+	ms.nGroups++
+	ms.outcome.Partitions++
+	ms.rescheduleRates()
+}
+
+func (ms *missionState) onMerge(float64) {
+	if ms.nGroups > 1 {
+		ms.nGroups--
+		ms.outcome.Merges++
+	}
+	ms.rescheduleRates()
+}
+
+// scheduleIDSRound schedules the next periodic voting round at the
+// adaptive interval 1/D(md).
+func (ms *missionState) scheduleIDSRound() {
+	if ms.failed {
+		return
+	}
+	tm, uc := ms.counts()
+	if tm+uc == 0 {
+		// Group depleted without a security failure: absorption, exactly
+		// as in the analytical model's CauseNone states.
+		ms.outcome.Depleted = true
+		ms.fail(core.CauseNone)
+		return
+	}
+	md := shapes.EvictionPressure(ms.r.cfg.N, tm, uc)
+	interval := 1 / ms.detect.Rate(md)
+	ms.idsEv = ms.sim.ScheduleAfter(interval, "ids-round", ms.onIDSRound)
+}
+
+func (ms *missionState) onIDSRound(now float64) {
+	if ms.failed {
+		return
+	}
+	ms.outcome.IDSRounds++
+	members := ms.memberStates()
+	host := ids.HostIDS{P1: ms.r.cfg.P1, P2: ms.r.cfg.P2}
+	// The voting panel is drawn from the target's own group; emulate the
+	// partitioned pool by restricting panel size to the per-group share.
+	perGroup := len(members) / ms.nGroups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	for _, target := range members {
+		if ms.failed {
+			return
+		}
+		// Membership changes as the round evicts nodes: skip targets
+		// already gone and judge the rest against the live view, so one
+		// round cannot act on a stale snapshot.
+		if st, ok := ms.group.Status(target.ID); !ok ||
+			(st != gcs.StatusTrusted && st != gcs.StatusCompromised) {
+			continue
+		}
+		live := ms.memberStates()
+		pool := ms.groupPool(live, target, perGroup)
+		var outcome ids.VoteOutcome
+		var err error
+		if ms.r.cfg.Protocol == core.ProtocolClusterHead {
+			outcome, err = ids.RunClusterHeadVote(ms.rng, pool, target, host)
+		} else {
+			outcome, err = ids.RunVote(ms.rng, pool, target, ms.r.cfg.M, host)
+		}
+		if err != nil {
+			// Configuration was validated; a vote error is a bug.
+			panic(fmt.Sprintf("sim: vote failed: %v", err))
+		}
+		if !outcome.Evict {
+			continue
+		}
+		if _, err := ms.group.Evict(target.ID); err != nil {
+			continue
+		}
+		ms.outcome.Detections++
+		if !target.Compromised {
+			ms.outcome.FalseEvictions++
+		}
+		// Each eviction completes with a GDH rekey of the node's group:
+		// charge its wire bits as a discrete cost pulse.
+		tm, uc := ms.counts()
+		perGroupNow := (tm + uc) / ms.nGroups
+		if perGroupNow < 1 {
+			perGroupNow = 1
+		}
+		ms.costAccum += float64(gdh.TotalBits(perGroupNow, ms.r.cfg.GDHElementBits)) * ms.r.cfg.MeanHops
+		ms.checkFailure()
+	}
+	ms.rescheduleRates()
+	ms.scheduleIDSRound()
+}
+
+// groupPool samples the co-located members of the target's group: the
+// target plus perGroup-1 random other members.
+func (ms *missionState) groupPool(members []ids.NodeState, target ids.NodeState, perGroup int) []ids.NodeState {
+	if ms.nGroups == 1 || perGroup >= len(members) {
+		return members
+	}
+	others := make([]ids.NodeState, 0, len(members)-1)
+	for _, m := range members {
+		if m.ID != target.ID {
+			others = append(others, m)
+		}
+	}
+	k := perGroup - 1
+	if k > len(others) {
+		k = len(others)
+	}
+	pool := make([]ids.NodeState, 0, k+1)
+	pool = append(pool, target)
+	for _, idx := range ms.rng.SampleWithoutReplacement(len(others), k) {
+		pool = append(pool, others[idx])
+	}
+	return pool
+}
+
+func (ms *missionState) trustedIDs() []int {
+	var out []int
+	for _, id := range ms.group.Members() {
+		if st, _ := ms.group.Status(id); st == gcs.StatusTrusted {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (ms *missionState) memberStates() []ids.NodeState {
+	var out []ids.NodeState
+	for _, id := range ms.group.Members() {
+		st, _ := ms.group.Status(id)
+		out = append(out, ids.NodeState{ID: id, Compromised: st == gcs.StatusCompromised})
+	}
+	return out
+}
+
+// Estimate aggregates replications into MTTSF and cost estimates.
+type Estimate struct {
+	Replications int
+	// MTTSF statistics (seconds).
+	MTTSF Summary
+	// AvgCost statistics (hop·bits/s).
+	AvgCost Summary
+	// CauseC1Frac and CauseC2Frac are the observed failure-mode fractions.
+	CauseC1Frac, CauseC2Frac float64
+	// Censored counts replications that hit the horizon without failing;
+	// a nonzero value biases MTTSF low.
+	Censored int
+	// Depleted counts replications absorbed by emptying the group without
+	// a security failure (rare; driven by false-eviction cascades).
+	Depleted int
+}
+
+// EstimateMTTSF runs `reps` independent missions and summarizes them.
+func (r *Runner) EstimateMTTSF(reps int, horizon float64, seed int64) (*Estimate, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 replication")
+	}
+	est := &Estimate{Replications: reps}
+	times := make([]float64, 0, reps)
+	costs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		out, err := r.Run(seed+int64(i)*7919, horizon)
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, out.TimeToFailure)
+		costs = append(costs, out.AvgCost)
+		switch {
+		case out.Cause == core.CauseC1:
+			est.CauseC1Frac++
+		case out.Cause == core.CauseC2:
+			est.CauseC2Frac++
+		case out.Depleted:
+			est.Depleted++
+		default:
+			est.Censored++
+		}
+	}
+	est.CauseC1Frac /= float64(reps)
+	est.CauseC2Frac /= float64(reps)
+	est.MTTSF = Summarize(times)
+	est.AvgCost = Summarize(costs)
+	return est, nil
+}
+
+// Summary holds basic sample statistics.
+type Summary struct {
+	Mean, StdDev float64
+	Min, Max     float64
+	// CI95 is the half-width of the 95% confidence interval of the mean.
+	CI95 float64
+}
+
+// Summarize computes sample statistics.
+func Summarize(xs []float64) Summary {
+	n := float64(len(xs))
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / n
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / (n - 1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(n)
+	}
+	return s
+}

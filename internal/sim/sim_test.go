@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fastConfig keeps Monte Carlo unit tests quick: a small group with an
+// aggressive attacker fails within simulated days.
+func fastConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.N = 12
+	cfg.LambdaC = 1.0 / 1800 // one compromise per 30 min
+	cfg.TIDS = 300
+	return cfg
+}
+
+func TestNewRunnerValidates(t *testing.T) {
+	bad := core.DefaultConfig()
+	bad.N = 0
+	if _, err := NewRunner(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunSingleMission(t *testing.T) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(1, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TimeToFailure <= 0 {
+		t.Errorf("TimeToFailure = %v", out.TimeToFailure)
+	}
+	if out.Cause != core.CauseC1 && out.Cause != core.CauseC2 {
+		t.Errorf("mission ended with cause %v", out.Cause)
+	}
+	if out.Compromises == 0 {
+		t.Error("no compromises recorded before failure")
+	}
+	if out.IDSRounds == 0 {
+		t.Error("no IDS rounds ran")
+	}
+	if out.AvgCost <= 0 {
+		t.Error("no communication cost accrued")
+	}
+}
+
+func TestRunRejectsBadHorizon(t *testing.T) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(1, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Run(42, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(42, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeToFailure != b.TimeToFailure || a.Compromises != b.Compromises || a.Cause != b.Cause {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := r.Run(43, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeToFailure == c.TimeToFailure {
+		t.Error("different seeds produced identical failure times")
+	}
+}
+
+func TestCensoringAtHorizon(t *testing.T) {
+	cfg := fastConfig()
+	cfg.LambdaC = 1e-9 // essentially no attacker
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(1, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cause != core.CauseNone {
+		t.Errorf("cause = %v, want censored", out.Cause)
+	}
+	if out.TimeToFailure != 3600 {
+		t.Errorf("TimeToFailure = %v, want horizon", out.TimeToFailure)
+	}
+}
+
+func TestEstimateMTTSFBasics(t *testing.T) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.EstimateMTTSF(20, 1e8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Replications != 20 || est.Censored != 0 {
+		t.Errorf("reps %d censored %d", est.Replications, est.Censored)
+	}
+	if est.MTTSF.Mean <= 0 || est.MTTSF.CI95 <= 0 {
+		t.Errorf("MTTSF summary %+v", est.MTTSF)
+	}
+	if f := est.CauseC1Frac + est.CauseC2Frac; math.Abs(f-1) > 1e-12 {
+		t.Errorf("failure fractions sum to %v", f)
+	}
+	if _, err := r.EstimateMTTSF(0, 1e8, 7); err == nil {
+		t.Error("zero replications accepted")
+	}
+}
+
+func TestSimAgreesWithAnalyticalModel(t *testing.T) {
+	// The central validation: the protocol-level Monte Carlo estimate of
+	// MTTSF must agree with the SPN/CTMC analytical value within a
+	// generous statistical tolerance.
+	if testing.Short() {
+		t.Skip("Monte Carlo cross-validation in -short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.N = 20
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.EstimateMTTSF(40, 1e9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MTTSFOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Censored > 0 {
+		t.Fatalf("%d censored replications; raise horizon", est.Censored)
+	}
+	diff := math.Abs(est.MTTSF.Mean - want)
+	tol := 3*est.MTTSF.CI95 + 0.15*want
+	if diff > tol {
+		t.Errorf("sim %v vs analytical %v: diff %v exceeds tolerance %v",
+			est.MTTSF.Mean, want, diff, tol)
+	}
+}
+
+func TestEventCountsAgreeWithAnalyticalModel(t *testing.T) {
+	// core.ExpectedCounts derives E[#compromises], E[#detections], ...
+	// from sojourn-weighted transition rates; the simulator counts the
+	// actual protocol events. The two engines share no code path beyond
+	// the configuration.
+	if testing.Short() {
+		t.Skip("Monte Carlo comparison in -short mode")
+	}
+	// An accelerated attacker keeps each mission to a few hundred IDS
+	// rounds; the counts comparison is λc-agnostic.
+	cfg := core.DefaultConfig()
+	cfg.N = 16
+	cfg.LambdaC = 1.0 / 3600
+	want, err := core.ExpectedCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := 60
+	var comp, det, falseEv, leaks float64
+	for i := 0; i < reps; i++ {
+		out, err := r.Run(int64(i)*31, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp += float64(out.Compromises)
+		det += float64(out.Detections - out.FalseEvictions)
+		falseEv += float64(out.FalseEvictions)
+		leaks += float64(out.Leaks)
+	}
+	n := float64(reps)
+	comp, det, falseEv, leaks = comp/n, det/n, falseEv/n, leaks/n
+	within := func(name string, got, want, relTol, absTol float64) {
+		diff := math.Abs(got - want)
+		if diff > relTol*want+absTol {
+			t.Errorf("%s: sim %.3f vs analytical %.3f", name, got, want)
+		}
+	}
+	within("compromises", comp, want.Compromises, 0.35, 1)
+	within("detections", det, want.Detections, 0.35, 1)
+	within("false evictions", falseEv, want.FalseEvictions, 0.5, 2)
+	within("leaks (P(C1))", leaks, want.Leaks, 0.6, 0.12)
+}
+
+func TestStrongerAttackerFailsFaster(t *testing.T) {
+	cfg := fastConfig()
+	r1, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := r1.EstimateMTTSF(15, 1e8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LambdaC *= 8
+	r2, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r2.EstimateMTTSF(15, 1e8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.MTTSF.Mean >= e1.MTTSF.Mean {
+		t.Errorf("8x attacker did not shorten missions: %v vs %v", e2.MTTSF.Mean, e1.MTTSF.Mean)
+	}
+}
+
+func TestGroupDynamicsObserved(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PartitionRate = 1.0 / 900
+	cfg.MergeRate = 1.0 / 900
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, merges := 0, 0
+	for s := int64(0); s < 10; s++ {
+		out, err := r.Run(s, 1e8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts += out.Partitions
+		merges += out.Merges
+	}
+	if parts == 0 {
+		t.Error("no partitions observed with fast dynamics")
+	}
+	if merges == 0 {
+		t.Error("no merges observed with fast dynamics")
+	}
+}
+
+func TestClusterHeadProtocolSim(t *testing.T) {
+	// The cluster-head simulator path must run, and under collusion it
+	// must lose to voting on mission lifetime (the analytical result,
+	// checked here at protocol granularity).
+	cfg := fastConfig()
+	vote, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chCfg := cfg
+	chCfg.Protocol = core.ProtocolClusterHead
+	ch, err := NewRunner(chCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := vote.EstimateMTTSF(25, 1e8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := ch.EstimateMTTSF(25, 1e8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.MTTSF.Mean >= ev.MTTSF.Mean {
+		t.Errorf("cluster-head MTTSF %v not below voting %v", ec.MTTSF.Mean, ev.MTTSF.Mean)
+	}
+}
+
+func TestErlangAttackerReducesVariance(t *testing.T) {
+	// With leaks and detection disabled, the mission fails at the K-th
+	// compromise (C2); Erlang-8 inter-compromise times have 1/8 the
+	// variance of exponential ones with equal mean, so the failure-time
+	// spread must shrink while the mean stays put.
+	cfg := core.DefaultConfig()
+	cfg.N = 12
+	cfg.LambdaC = 1.0 / 600
+	cfg.LambdaQ = 0 // no leak channel
+	cfg.TIDS = 1e9  // detection effectively off
+	cfg.PartitionRate = 0
+	cfg.MergeRate = 0
+	run := func(phases int) Summary {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetCompromisePhases(phases); err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, 0, 120)
+		for s := int64(0); s < 120; s++ {
+			out, err := r.Run(s, 1e10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Cause != core.CauseC2 {
+				t.Fatalf("seed %d: cause %v, want C2", s, out.Cause)
+			}
+			times = append(times, out.TimeToFailure)
+		}
+		return Summarize(times)
+	}
+	exp := run(1)
+	erl := run(8)
+	if relDiff := math.Abs(erl.Mean-exp.Mean) / exp.Mean; relDiff > 0.25 {
+		t.Errorf("Erlang mean %v drifted from exponential %v", erl.Mean, exp.Mean)
+	}
+	if erl.StdDev >= exp.StdDev*0.8 {
+		t.Errorf("Erlang-8 std %v not clearly below exponential %v", erl.StdDev, exp.StdDev)
+	}
+}
+
+func TestSetCompromisePhasesValidation(t *testing.T) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetCompromisePhases(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := r.SetCompromisePhases(4); err != nil {
+		t.Errorf("k=4 rejected: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 not positive")
+	}
+	empty := Summarize(nil)
+	if empty.Mean != 0 || empty.StdDev != 0 {
+		t.Errorf("empty summary %+v", empty)
+	}
+	single := Summarize([]float64{7})
+	if single.Mean != 7 || single.StdDev != 0 || single.CI95 != 0 {
+		t.Errorf("single summary %+v", single)
+	}
+}
+
+func TestFalseEvictionsTracked(t *testing.T) {
+	// With a terrible host IDS (p2 = 30%) false evictions must appear.
+	cfg := fastConfig()
+	cfg.P2 = 0.3
+	cfg.M = 3
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := int64(0); s < 5; s++ {
+		out, err := r.Run(s, 1e8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += out.FalseEvictions
+	}
+	if total == 0 {
+		t.Error("no false evictions with p2=30%")
+	}
+}

@@ -1,0 +1,328 @@
+// Package spn implements a Stochastic Petri Net modeling engine: places,
+// timed transitions with marking-dependent rates and enabling guard
+// functions, and reachability-graph generation. The reachability graph of a
+// bounded SPN, together with the exponential firing rates, defines a
+// continuous-time Markov chain that package ctmc solves.
+//
+// The engine reproduces the modeling features the paper's SPN (Figure 1)
+// needs: guard functions that disable every transition once a failure
+// condition holds (creating absorbing states), marking-dependent rates such
+// as mark(UCm)*D(md)*(1-Pfn), and small auxiliary places such as the group
+// counter NG.
+package spn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Marking is a token count per place, indexed by place index.
+type Marking []int
+
+// Clone returns a copy of m.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Key returns a compact comparable encoding of the marking, suitable for
+// map keys during state-space exploration.
+func (m Marking) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(m) * 3)
+	for i, v := range m {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
+}
+
+// Total returns the total number of tokens in the marking.
+func (m Marking) Total() int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Arc connects a place to a transition (input) or a transition to a place
+// (output) with a multiplicity (weight).
+type Arc struct {
+	Place  int // place index
+	Weight int // tokens consumed/produced; must be >= 1
+}
+
+// RateFunc returns the (exponential) firing rate of a transition in the
+// given marking. A non-positive return value disables the transition.
+type RateFunc func(m Marking) float64
+
+// GuardFunc is an additional enabling predicate evaluated on the marking.
+type GuardFunc func(m Marking) bool
+
+// Transition is a timed SPN transition.
+type Transition struct {
+	Name    string
+	Inputs  []Arc
+	Outputs []Arc
+	Rate    RateFunc
+	Guard   GuardFunc // nil means always enabled (subject to tokens)
+}
+
+// Net is a Stochastic Petri Net under construction.
+type Net struct {
+	placeNames []string
+	placeIdx   map[string]int
+	trans      []*Transition
+}
+
+// New returns an empty net.
+func New() *Net {
+	return &Net{placeIdx: make(map[string]int)}
+}
+
+// AddPlace registers a named place and returns its index. Adding a name
+// twice returns the existing index.
+func (n *Net) AddPlace(name string) int {
+	if i, ok := n.placeIdx[name]; ok {
+		return i
+	}
+	i := len(n.placeNames)
+	n.placeNames = append(n.placeNames, name)
+	n.placeIdx[name] = i
+	return i
+}
+
+// Place returns the index of a previously added place; it panics on unknown
+// names so that model-construction typos fail fast.
+func (n *Net) Place(name string) int {
+	i, ok := n.placeIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("spn: unknown place %q", name))
+	}
+	return i
+}
+
+// NumPlaces returns the number of places added so far.
+func (n *Net) NumPlaces() int { return len(n.placeNames) }
+
+// PlaceNames returns the place names in index order.
+func (n *Net) PlaceNames() []string {
+	out := make([]string, len(n.placeNames))
+	copy(out, n.placeNames)
+	return out
+}
+
+// AddTransition registers a transition. Inputs/Outputs with zero weight are
+// rejected. The rate function is mandatory.
+func (n *Net) AddTransition(t *Transition) error {
+	if t.Name == "" {
+		return fmt.Errorf("spn: transition must be named")
+	}
+	if t.Rate == nil {
+		return fmt.Errorf("spn: transition %q has no rate function", t.Name)
+	}
+	for _, a := range append(append([]Arc{}, t.Inputs...), t.Outputs...) {
+		if a.Place < 0 || a.Place >= len(n.placeNames) {
+			return fmt.Errorf("spn: transition %q references unknown place %d", t.Name, a.Place)
+		}
+		if a.Weight < 1 {
+			return fmt.Errorf("spn: transition %q has arc weight %d < 1", t.Name, a.Weight)
+		}
+	}
+	n.trans = append(n.trans, t)
+	return nil
+}
+
+// MustAddTransition is AddTransition that panics on error, for model
+// builders whose arcs are statically correct.
+func (n *Net) MustAddTransition(t *Transition) {
+	if err := n.AddTransition(t); err != nil {
+		panic(err)
+	}
+}
+
+// Transitions returns the registered transitions in insertion order.
+func (n *Net) Transitions() []*Transition {
+	out := make([]*Transition, len(n.trans))
+	copy(out, n.trans)
+	return out
+}
+
+// enabled reports whether t may fire in m and, if so, its rate.
+func (n *Net) enabled(t *Transition, m Marking) (float64, bool) {
+	for _, a := range t.Inputs {
+		if m[a.Place] < a.Weight {
+			return 0, false
+		}
+	}
+	if t.Guard != nil && !t.Guard(m) {
+		return 0, false
+	}
+	r := t.Rate(m)
+	if r <= 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// fire returns the successor marking of firing t in m. The caller must have
+// verified enabledness.
+func fire(t *Transition, m Marking) Marking {
+	next := m.Clone()
+	for _, a := range t.Inputs {
+		next[a.Place] -= a.Weight
+	}
+	for _, a := range t.Outputs {
+		next[a.Place] += a.Weight
+	}
+	return next
+}
+
+// Edge is one outgoing stochastic transition of a reachability-graph state.
+type Edge struct {
+	To         int     // destination state index
+	Rate       float64 // exponential rate
+	Transition int     // index into Net.Transitions()
+}
+
+// Graph is the reachability graph of a bounded SPN: the state space of the
+// underlying CTMC.
+type Graph struct {
+	Net      *Net
+	States   []Marking
+	Index    map[string]int
+	Edges    [][]Edge
+	Initial  int
+	PlaceIdx map[string]int
+}
+
+// ExploreOpts bounds state-space generation.
+type ExploreOpts struct {
+	// MaxStates aborts exploration when exceeded (default 2_000_000).
+	MaxStates int
+}
+
+// Explore generates the reachability graph from the initial marking using
+// breadth-first search. It returns an error when the state space exceeds
+// opts.MaxStates, which usually indicates an unbounded or mis-specified net.
+func (n *Net) Explore(initial Marking, opts ExploreOpts) (*Graph, error) {
+	if len(initial) != len(n.placeNames) {
+		return nil, fmt.Errorf("spn: initial marking has %d places, net has %d", len(initial), len(n.placeNames))
+	}
+	for i, v := range initial {
+		if v < 0 {
+			return nil, fmt.Errorf("spn: initial marking negative at place %s", n.placeNames[i])
+		}
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 2_000_000
+	}
+	g := &Graph{
+		Net:      n,
+		Index:    make(map[string]int),
+		PlaceIdx: make(map[string]int, len(n.placeIdx)),
+	}
+	for name, i := range n.placeIdx {
+		g.PlaceIdx[name] = i
+	}
+	add := func(m Marking) int {
+		k := m.Key()
+		if i, ok := g.Index[k]; ok {
+			return i
+		}
+		i := len(g.States)
+		g.States = append(g.States, m)
+		g.Edges = append(g.Edges, nil)
+		g.Index[k] = i
+		return i
+	}
+	g.Initial = add(initial.Clone())
+	for head := 0; head < len(g.States); head++ {
+		m := g.States[head]
+		for ti, t := range n.trans {
+			rate, ok := n.enabled(t, m)
+			if !ok {
+				continue
+			}
+			next := fire(t, m)
+			to := add(next)
+			if len(g.States) > maxStates {
+				return nil, fmt.Errorf("spn: state space exceeded %d states", maxStates)
+			}
+			g.Edges[head] = append(g.Edges[head], Edge{To: to, Rate: rate, Transition: ti})
+		}
+	}
+	return g, nil
+}
+
+// NumStates returns the number of reachable states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// IsAbsorbing reports whether state i has no outgoing edges.
+func (g *Graph) IsAbsorbing(i int) bool { return len(g.Edges[i]) == 0 }
+
+// AbsorbingStates returns the sorted indices of absorbing states.
+func (g *Graph) AbsorbingStates() []int {
+	var out []int
+	for i := range g.States {
+		if g.IsAbsorbing(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Mark returns the token count of the named place in state i.
+func (g *Graph) Mark(i int, place string) int {
+	pi, ok := g.PlaceIdx[place]
+	if !ok {
+		panic(fmt.Sprintf("spn: unknown place %q", place))
+	}
+	return g.States[i][pi]
+}
+
+// ExitRate returns the total outgoing rate of state i.
+func (g *Graph) ExitRate(i int) float64 {
+	s := 0.0
+	for _, e := range g.Edges[i] {
+		s += e.Rate
+	}
+	return s
+}
+
+// String renders a human-readable summary of the graph (for debugging and
+// small models only).
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SPN graph: %d states, initial %d, %d absorbing\n",
+		len(g.States), g.Initial, len(g.AbsorbingStates()))
+	names := g.Net.PlaceNames()
+	limit := len(g.States)
+	if limit > 50 {
+		limit = 50
+	}
+	for i := 0; i < limit; i++ {
+		var parts []string
+		for pi, name := range names {
+			if v := g.States[i][pi]; v != 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+			}
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&sb, "  s%d {%s}", i, strings.Join(parts, " "))
+		for _, e := range g.Edges[i] {
+			fmt.Fprintf(&sb, " --%s(%.4g)-->s%d", g.Net.trans[e.Transition].Name, e.Rate, e.To)
+		}
+		sb.WriteByte('\n')
+	}
+	if limit < len(g.States) {
+		fmt.Fprintf(&sb, "  ... %d more states\n", len(g.States)-limit)
+	}
+	return sb.String()
+}
