@@ -33,6 +33,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/ids"
 	"repro/internal/manet"
@@ -92,13 +93,48 @@ const (
 // detection, TIDS=120 s).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// Analyze solves the SPN/CTMC model and returns MTTSF, Ĉtotal and the
-// failure split for one configuration.
-func Analyze(cfg Config) (*Result, error) { return core.Analyze(cfg) }
+// --- Evaluation engine ---
 
-// MTTSF computes only the mean time to security failure (faster than
-// Analyze when cost is not needed).
-func MTTSF(cfg Config) (float64, error) { return core.MTTSFOnly(cfg) }
+// Engine is the memoizing evaluation service every answer routes through:
+// one SPN/CTMC solve per unique configuration, an LRU of full Results
+// keyed by a canonical Config fingerprint, and bounded-worker batching.
+// The free functions below are thin wrappers over DefaultEngine; construct
+// a private Engine with NewEngine to isolate cache state.
+type Engine = engine.Engine
+
+// EngineOptions sizes an Engine's caches and worker pool.
+type EngineOptions = engine.Options
+
+// EngineStats is a snapshot of an Engine's cache accounting.
+type EngineStats = engine.Stats
+
+// NewEngine constructs an isolated evaluation engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// DefaultEngine returns the shared process-wide engine the free functions
+// and the internal sweep/figure/frontier drivers use.
+func DefaultEngine() *Engine { return engine.Default() }
+
+// Analyze solves the SPN/CTMC model — exactly one transient linear solve
+// per unique configuration, memoized — and returns MTTSF, Ĉtotal and the
+// failure split.
+func Analyze(cfg Config) (*Result, error) { return engine.Default().Eval(cfg) }
+
+// EvalBatch evaluates many configurations over the default engine's
+// bounded worker pool, preserving order and deduplicating repeats.
+func EvalBatch(cfgs []Config) ([]*Result, error) { return engine.Default().EvalBatch(cfgs) }
+
+// MTTSF computes the mean time to security failure. It routes through the
+// same memoized evaluation as Analyze (one solve per unique configuration,
+// concurrent duplicates deduplicated); use core-level MTTSFOnly via a
+// custom Evaluator if the cost assembly must be skipped on cache misses.
+func MTTSF(cfg Config) (float64, error) {
+	res, err := engine.Default().Eval(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.MTTSF, nil
+}
 
 // PaperTIDSGrid is the detection-interval grid used in the paper's figures.
 var PaperTIDSGrid = core.PaperTIDSGrid
@@ -174,16 +210,16 @@ type SurvivalCurve = core.SurvivalCurve
 type MissionAssurance = core.MissionAssurance
 
 // Survival samples the time-to-security-failure distribution with reps
-// exact CTMC replications.
+// exact CTMC replications, reusing the engine's cached reachability graph.
 func Survival(cfg Config, reps int, seed int64) (*SurvivalCurve, error) {
-	return core.Survival(cfg, reps, seed)
+	return engine.Default().Survival(cfg, reps, seed)
 }
 
 // AssureMission evaluates P(survive missionTime) across a TIDS grid and
 // returns the operating point maximizing it. The mean-optimal and
 // assurance-optimal TIDS can differ; missions care about the latter.
 func AssureMission(cfg Config, grid []float64, missionTime float64, reps int, seed int64) (*MissionAssurance, error) {
-	return core.AssureMission(cfg, grid, missionTime, reps, seed)
+	return engine.Default().AssureMission(cfg, grid, missionTime, reps, seed)
 }
 
 // EventCounts are expected per-mission event counts (compromises,
@@ -192,7 +228,14 @@ type EventCounts = core.EventCounts
 
 // ExpectedCounts computes the expected number of each model event over one
 // mission, cross-validated against the Monte Carlo simulator's counters.
-func ExpectedCounts(cfg Config) (*EventCounts, error) { return core.ExpectedCounts(cfg) }
+// The counts derive from the engine's cached solve for the configuration.
+func ExpectedCounts(cfg Config) (*EventCounts, error) {
+	p, err := engine.Default().Prepared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExpectedCounts()
+}
 
 // Sensitivity is one parameter's MTTSF elasticity.
 type Sensitivity = core.Sensitivity

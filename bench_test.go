@@ -28,9 +28,19 @@ func benchConfig() Config {
 	return cfg
 }
 
+// pinDirect routes model evaluation through the memoization-free path for
+// the duration of a benchmark, so iterations measure the complete
+// pipeline (SPN build, exploration, solve) rather than an engine cache
+// hit. The engine's own win is measured separately in engine_bench_test.go.
+func pinDirect(b *testing.B) {
+	prev := core.SetDefaultEvaluator(core.Direct{})
+	b.Cleanup(func() { core.SetDefaultEvaluator(prev) })
+}
+
 // BenchmarkFigure2 regenerates Figure 2 (MTTSF vs TIDS for m = 3,5,7,9,
 // linear attacker and detection): 36 model evaluations per iteration.
 func BenchmarkFigure2(b *testing.B) {
+	pinDirect(b)
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -46,6 +56,7 @@ func BenchmarkFigure2(b *testing.B) {
 
 // BenchmarkFigure3 regenerates Figure 3 (Ĉtotal vs TIDS for m = 3,5,7,9).
 func BenchmarkFigure3(b *testing.B) {
+	pinDirect(b)
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -62,6 +73,7 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4 regenerates Figure 4 (MTTSF vs TIDS for the three
 // detection functions under a linear attacker, m=5).
 func BenchmarkFigure4(b *testing.B) {
+	pinDirect(b)
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -78,6 +90,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkFigure5 regenerates Figure 5 (Ĉtotal vs TIDS for the three
 // detection functions under a linear attacker, m=5).
 func BenchmarkFigure5(b *testing.B) {
+	pinDirect(b)
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -108,7 +121,7 @@ func BenchmarkAblationVotingVsHostOnly(b *testing.B) {
 			cfg.M = m
 			var mttsf float64
 			for i := 0; i < b.N; i++ {
-				res, err := Analyze(cfg)
+				res, err := core.Analyze(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -135,7 +148,7 @@ func BenchmarkAblationCompactVsExplicit(b *testing.B) {
 			cfg.ExplicitEviction = explicit
 			var mttsf float64
 			for i := 0; i < b.N; i++ {
-				v, err := MTTSF(cfg)
+				v, err := core.MTTSFOnly(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -170,6 +183,7 @@ func BenchmarkAblationEquation1VsMonteCarlo(b *testing.B) {
 // BenchmarkBaselines runs the no-IDS / host-only / voting protocol
 // comparison (three full model solves).
 func BenchmarkBaselines(b *testing.B) {
+	pinDirect(b)
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -186,6 +200,7 @@ func BenchmarkBaselines(b *testing.B) {
 // BenchmarkTradeoffFrontier explores a reduced (m, TIDS, detection) design
 // space and extracts its Pareto frontier.
 func BenchmarkTradeoffFrontier(b *testing.B) {
+	pinDirect(b)
 	cfg := benchConfig()
 	space := core.DesignSpace{
 		Ms:         []int{3, 5},
@@ -224,7 +239,7 @@ func BenchmarkAnalyzeFullScale(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Analyze(cfg); err != nil {
+		if _, err := core.Analyze(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

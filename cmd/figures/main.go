@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -24,7 +25,11 @@ func main() {
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	checkFlag := flag.Bool("check", false, "validate figure shapes against the paper's claims")
 	baselinesFlag := flag.Bool("baselines", false, "also print the no-IDS / host-only / voting comparison")
+	statsFlag := flag.Bool("enginestats", false, "print evaluation-engine cache statistics on exit")
 	flag.Parse()
+	if *statsFlag {
+		cli.EnableEngineStats()
+	}
 
 	cfg := repro.DefaultConfig()
 	cfg.N = *nFlag
@@ -33,11 +38,11 @@ func main() {
 		table, err := repro.Baselines(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			cli.Exit(1)
 		}
 		if err := table.WriteTable(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			cli.Exit(1)
 		}
 		fmt.Println()
 	}
@@ -45,7 +50,7 @@ func main() {
 	figs, err := selectFigures(cfg, *figFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		cli.Exit(1)
 	}
 	for _, f := range figs {
 		var werr error
@@ -57,7 +62,7 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintln(os.Stderr, "figures:", werr)
-			os.Exit(1)
+			cli.Exit(1)
 		}
 	}
 	if *checkFlag {
@@ -69,9 +74,10 @@ func main() {
 			}
 		}
 		if failed {
-			os.Exit(2)
+			cli.Exit(2)
 		}
 	}
+	cli.Exit(0)
 }
 
 func selectFigures(cfg repro.Config, which string) ([]*repro.Figure, error) {

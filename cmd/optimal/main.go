@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/shapes"
 )
 
@@ -23,7 +24,11 @@ func main() {
 	attacker := flag.String("attacker", "linear", "attacker function: log|linear|poly")
 	budget := flag.Float64("budget", 0, "Ctotal budget in hop·bits/s (0 disables the constrained search)")
 	pareto := flag.Bool("pareto", false, "print the Pareto frontier over (m, TIDS, detection)")
+	statsFlag := flag.Bool("enginestats", false, "print evaluation-engine cache statistics on exit")
 	flag.Parse()
+	if *statsFlag {
+		cli.EnableEngineStats()
+	}
 
 	cfg := repro.DefaultConfig()
 	cfg.N = *n
@@ -74,9 +79,10 @@ func main() {
 			fmt.Printf("%6d %8.0f %-14v %14.5g %16.6g\n", p.M, p.TIDS, p.Detection, p.MTTSF, p.Ctotal)
 		}
 	}
+	cli.Exit(0)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "optimal:", err)
-	os.Exit(1)
+	cli.Exit(1)
 }

@@ -1,0 +1,133 @@
+package repro
+
+// Before/after benchmarks for the evaluation engine: the "naive" variants
+// pin core's default evaluator to the memoization-free Direct path (every
+// grid point rebuilds the SPN and re-solves the CTMC), the "engine"
+// variants run through a fresh memoizing engine. The gap is the
+// solve-reuse + memoization win the perf trajectory tracks.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestSweepEngineMatchesNaive pins numerical equivalence of the two paths
+// at the API grain: identical MTTSF and Ĉtotal (to 1e-12 relative) for
+// every point of the paper's TIDS grid and of the tradeoff frontier.
+func TestSweepEngineMatchesNaive(t *testing.T) {
+	cfg := benchConfig()
+
+	prev := core.SetDefaultEvaluator(core.Direct{})
+	naiveSweep, err := core.SweepTIDS(cfg, core.PaperTIDSGrid)
+	if err != nil {
+		core.SetDefaultEvaluator(prev)
+		t.Fatal(err)
+	}
+	naiveFrontier, err := core.TradeoffFrontier(cfg, core.DefaultDesignSpace())
+	core.SetDefaultEvaluator(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := engine.New(engine.Options{})
+	prev = core.SetDefaultEvaluator(eng)
+	defer core.SetDefaultEvaluator(prev)
+	engineSweep, err := core.SweepTIDS(cfg, core.PaperTIDSGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineFrontier, err := core.TradeoffFrontier(cfg, core.DefaultDesignSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range naiveSweep {
+		relCheck(t, "sweep MTTSF", engineSweep[i].Result.MTTSF, naiveSweep[i].Result.MTTSF)
+		relCheck(t, "sweep Ctotal", engineSweep[i].Result.Ctotal, naiveSweep[i].Result.Ctotal)
+	}
+	if len(engineFrontier) != len(naiveFrontier) {
+		t.Fatalf("frontier sizes differ: engine %d vs naive %d", len(engineFrontier), len(naiveFrontier))
+	}
+	for i := range naiveFrontier {
+		relCheck(t, "frontier MTTSF", engineFrontier[i].MTTSF, naiveFrontier[i].MTTSF)
+		relCheck(t, "frontier Ctotal", engineFrontier[i].Ctotal, naiveFrontier[i].Ctotal)
+	}
+}
+
+func relCheck(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := want
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	if diff/scale > 1e-12 {
+		t.Fatalf("%s: engine %v vs naive %v", name, got, want)
+	}
+}
+
+// BenchmarkSweepTIDS measures the paper's 9-point TIDS sweep, naive vs
+// memoizing engine.
+func BenchmarkSweepTIDS(b *testing.B) {
+	cfg := benchConfig()
+	b.Run("naive", func(b *testing.B) {
+		prev := core.SetDefaultEvaluator(core.Direct{})
+		defer core.SetDefaultEvaluator(prev)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepTIDS(cfg, core.PaperTIDSGrid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		prev := core.SetDefaultEvaluator(engine.New(engine.Options{}))
+		defer core.SetDefaultEvaluator(prev)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepTIDS(cfg, core.PaperTIDSGrid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTradeoffFrontierFull explores the full paper design space
+// (4 m-values × 9 TIDS × 3 detections = 108 points), naive vs engine. The
+// engine also reuses the 36 linear-detection points across the sweep
+// overlap within one exploration.
+func BenchmarkTradeoffFrontierFull(b *testing.B) {
+	cfg := benchConfig()
+	space := core.DefaultDesignSpace()
+	b.Run("naive", func(b *testing.B) {
+		prev := core.SetDefaultEvaluator(core.Direct{})
+		defer core.SetDefaultEvaluator(prev)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TradeoffFrontier(cfg, space); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		prev := core.SetDefaultEvaluator(engine.New(engine.Options{}))
+		defer core.SetDefaultEvaluator(prev)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TradeoffFrontier(cfg, space); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

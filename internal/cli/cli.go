@@ -1,0 +1,25 @@
+// Package cli holds the small helpers the cmd/ tools share.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+)
+
+var printEngineStats bool
+
+// EnableEngineStats makes Exit dump the default engine's cache statistics
+// to stderr (the -enginestats flag of the CLIs).
+func EnableEngineStats() { printEngineStats = true }
+
+// Exit terminates the process, printing engine statistics first when
+// enabled. CLIs must route every termination through this (a deferred
+// print would be skipped by os.Exit).
+func Exit(code int) {
+	if printEngineStats {
+		fmt.Fprintln(os.Stderr, engine.Default().Stats())
+	}
+	os.Exit(code)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
-	"repro/internal/ctmc"
 	"repro/internal/spn"
 	"repro/internal/voting"
 )
@@ -48,33 +47,35 @@ type Result struct {
 	MissionEnergyJ float64
 }
 
-// Analyze builds the SPN for cfg, solves the underlying CTMC, and returns
-// MTTSF, Ĉtotal, and the failure-mode split.
+// Analyze builds the SPN for cfg, solves the underlying CTMC exactly once,
+// and returns MTTSF, Ĉtotal, and the failure-mode split — all derived from
+// the same sojourn-time solution.
 func Analyze(cfg Config) (*Result, error) {
-	model, err := BuildModel(cfg)
+	p, err := Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	graph, err := model.Explore()
-	if err != nil {
-		return nil, err
-	}
-	return analyzeGraph(model, graph)
+	return p.Analyze()
 }
 
-func analyzeGraph(model *Model, graph *spn.Graph) (*Result, error) {
+// analyze derives the full Result from the Prepared state's single solve:
+// MTTSF is the sojourn sum, the cost metrics are sojourn-weighted reward
+// dot products, and the failure split comes from the same vector via the
+// absorption identity — one transient linear solve total.
+func (p *Prepared) analyze() (*Result, error) {
+	model, graph, chain := p.Model, p.Graph, p.Chain
 	cfg := model.Config
-	chain := ctmc.FromGraph(graph)
 	res := &Result{
 		Config:    cfg,
 		States:    chain.NumStates(),
 		Transient: chain.NumTransient(),
 	}
 
-	sojourn, err := chain.SojournTimes(graph.Initial)
+	sol, err := p.Solution()
 	if err != nil {
 		return nil, fmt.Errorf("core: solving sojourn times: %w", err)
 	}
+	sojourn := sol.SojournTimes()
 	res.MTTSF = sojourn.Sum()
 	if res.MTTSF <= 0 {
 		return nil, fmt.Errorf("core: non-positive MTTSF %v", res.MTTSF)
@@ -110,11 +111,9 @@ func analyzeGraph(model *Model, graph *spn.Graph) (*Result, error) {
 		res.MissionEnergyJ = pw.TotalW * res.MTTSF
 	}
 
-	// Failure-mode split over absorbing states.
-	probs, err := chain.AbsorptionProbabilities(graph.Initial)
-	if err != nil {
-		return nil, fmt.Errorf("core: absorption probabilities: %w", err)
-	}
+	// Failure-mode split over absorbing states, derived from the same
+	// solution (no second solve).
+	probs := sol.AbsorptionProbabilities()
 	for state, p := range probs {
 		switch model.Classify(graph.States[state]) {
 		case CauseC1:
@@ -172,38 +171,28 @@ func (m *Model) costRewards(graph *spn.Graph) []cost.Breakdown {
 // MTTSFOnly computes just the MTTSF (skipping cost rewards), for tight
 // optimization loops.
 func MTTSFOnly(cfg Config) (float64, error) {
-	model, err := BuildModel(cfg)
+	p, err := Prepare(cfg)
 	if err != nil {
 		return 0, err
 	}
-	graph, err := model.Explore()
-	if err != nil {
-		return 0, err
-	}
-	chain := ctmc.FromGraph(graph)
-	return chain.MeanTimeToAbsorption(graph.Initial)
+	return p.MTTSF()
 }
 
 // SojournByMembership aggregates expected sojourn time by active-member
 // count, a diagnostic of how the mission decays (used by cmd/mttsf -trace).
 func SojournByMembership(cfg Config) (map[int]float64, error) {
-	model, err := BuildModel(cfg)
+	p, err := Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	graph, err := model.Explore()
-	if err != nil {
-		return nil, err
-	}
-	chain := ctmc.FromGraph(graph)
-	sojourn, err := chain.SojournTimes(graph.Initial)
+	sol, err := p.Solution()
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[int]float64)
-	for i, y := range sojourn {
+	for i, y := range sol.SojournTimes() {
 		if y > 0 {
-			out[model.activeMembers(graph.States[i])] += y
+			out[p.Model.activeMembers(p.Graph.States[i])] += y
 		}
 	}
 	return out, nil

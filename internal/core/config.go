@@ -165,6 +165,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// DefaultMaxStates is the reachability-exploration bound applied when
+// Config.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+// EffectiveCost returns the cost.Params this configuration actually
+// evaluates with: the explicit override if set, otherwise the defaults
+// with the shared rates patched in. Two Configs with equal EffectiveCost
+// are cost-equivalent regardless of whether Cost was spelled out — the
+// evaluation engine fingerprints through this.
+func (c Config) EffectiveCost() cost.Params { return c.costParams() }
+
+// EffectiveMaxStates returns the exploration bound with the default
+// applied.
+func (c Config) EffectiveMaxStates() int {
+	if c.MaxStates == 0 {
+		return DefaultMaxStates
+	}
+	return c.MaxStates
+}
+
 // costParams assembles the cost.Params for this configuration, patching
 // the shared rates into the defaults unless an explicit override is given.
 func (c Config) costParams() cost.Params {

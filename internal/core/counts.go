@@ -3,7 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/ctmc"
+	"repro/internal/linalg"
+	"repro/internal/spn"
 )
 
 // EventCounts are the expected numbers of model events over one mission
@@ -30,19 +31,16 @@ type EventCounts struct {
 
 // ExpectedCounts computes the expected event counts for a configuration.
 func ExpectedCounts(cfg Config) (*EventCounts, error) {
-	model, err := BuildModel(cfg)
+	p, err := Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	graph, err := model.Explore()
-	if err != nil {
-		return nil, err
-	}
-	chain := ctmc.FromGraph(graph)
-	sojourn, err := chain.SojournTimes(graph.Initial)
-	if err != nil {
-		return nil, err
-	}
+	return p.ExpectedCounts()
+}
+
+// countsFromSojourn derives the expected firing counts from an
+// already-computed sojourn vector (no additional solve).
+func countsFromSojourn(model *Model, graph *spn.Graph, sojourn linalg.Vector) *EventCounts {
 	names := make(map[int]string)
 	for ti, tr := range model.Net.Transitions() {
 		names[ti] = tr.Name
@@ -70,7 +68,7 @@ func ExpectedCounts(cfg Config) (*EventCounts, error) {
 			}
 		}
 	}
-	return &out, nil
+	return &out
 }
 
 // String renders the counts for CLI output.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Evaluator is the seam between the model layer and the evaluation-engine
+// layer: anything that can turn Configs into Results. Package core ships
+// Direct (build-and-solve every time, bounded worker pool); package
+// internal/engine wraps an Evaluator with memoization and installs itself
+// as the process default, so every sweep, frontier, figure, and baseline
+// routes through one shared cache.
+type Evaluator interface {
+	// Eval evaluates one configuration.
+	Eval(cfg Config) (*Result, error)
+	// EvalBatch evaluates a slice of configurations with bounded
+	// parallelism, preserving order. results[i] corresponds to cfgs[i];
+	// on error the returned error wraps every failing point's error and
+	// results may be partially filled.
+	EvalBatch(cfgs []Config) ([]*Result, error)
+}
+
+// defaultEvaluator is the Evaluator used by SweepTIDS, ExploreDesignSpace,
+// and the other grid drivers in this package.
+var defaultEvaluator atomic.Value // of evaluatorBox
+
+type evaluatorBox struct{ ev Evaluator }
+
+func init() { defaultEvaluator.Store(evaluatorBox{Direct{}}) }
+
+// DefaultEvaluator returns the Evaluator grid drivers currently route
+// through.
+func DefaultEvaluator() Evaluator { return defaultEvaluator.Load().(evaluatorBox).ev }
+
+// SetDefaultEvaluator swaps the process-wide Evaluator and returns the
+// previous one. The evaluation engine calls this at init; tests use it to
+// pin the direct path.
+func SetDefaultEvaluator(ev Evaluator) Evaluator {
+	if ev == nil {
+		ev = Direct{}
+	}
+	prev := DefaultEvaluator()
+	defaultEvaluator.Store(evaluatorBox{ev})
+	return prev
+}
+
+// Direct is the memoization-free Evaluator: every Eval builds the SPN,
+// explores the graph, and solves the CTMC. EvalBatch runs a bounded worker
+// pool — workers, not goroutine-per-point — so a 10k-point grid spawns
+// GOMAXPROCS goroutines, not 10k.
+type Direct struct {
+	// Workers bounds batch parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Eval implements Evaluator.
+func (d Direct) Eval(cfg Config) (*Result, error) { return Analyze(cfg) }
+
+// EvalBatch implements Evaluator.
+func (d Direct) EvalBatch(cfgs []Config) ([]*Result, error) {
+	return RunBatch(cfgs, d.Workers, d.Eval)
+}
+
+// RunBatch fans eval over cfgs with at most workers concurrent
+// evaluations (0 means GOMAXPROCS), preserving order and joining per-point
+// errors. It is the shared pool both Direct and the memoizing engine use.
+func RunBatch(cfgs []Config, workers int, eval func(Config) (*Result, error)) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				results[i], errs[i] = eval(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var joined error
+	for i, err := range errs {
+		if err != nil {
+			pointErr := fmt.Errorf("core: batch point %d (TIDS=%v, m=%d, detection=%v): %w",
+				i, cfgs[i].TIDS, cfgs[i].M, cfgs[i].Detection, err)
+			if joined == nil {
+				joined = pointErr
+			} else {
+				joined = fmt.Errorf("%w; %w", joined, pointErr)
+			}
+		}
+	}
+	if joined != nil {
+		return results, joined
+	}
+	return results, nil
+}

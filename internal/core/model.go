@@ -291,9 +291,5 @@ func (m *Model) rekeyTime(mk spn.Marking) float64 {
 
 // Explore generates the reachability graph of the model.
 func (m *Model) Explore() (*spn.Graph, error) {
-	maxStates := m.Config.MaxStates
-	if maxStates == 0 {
-		maxStates = 2_000_000
-	}
-	return m.Net.Explore(m.Initial, spn.ExploreOpts{MaxStates: maxStates})
+	return m.Net.Explore(m.Initial, spn.ExploreOpts{MaxStates: m.Config.EffectiveMaxStates()})
 }

@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/shapes"
 )
@@ -53,55 +51,36 @@ func (d DesignSpace) size() int {
 	return len(d.Ms) * len(d.TIDSGrid) * len(d.Detections)
 }
 
-// ExploreDesignSpace evaluates every grid point in parallel and returns
-// all points (sorted by ascending Ĉtotal).
+// ExploreDesignSpace evaluates every grid point through the default
+// Evaluator's bounded batch API and returns all points (sorted by
+// ascending Ĉtotal). Design spaces overlap heavily with the TIDS sweeps of
+// the figures, so with the memoizing engine installed most points are
+// cache hits.
 func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
 	if space.size() == 0 {
 		return nil, fmt.Errorf("core: empty design space")
 	}
-	type job struct {
-		m    int
-		tids float64
-		kind shapes.Kind
-	}
-	var jobs []job
+	cfgs := make([]Config, 0, space.size())
 	for _, m := range space.Ms {
 		for _, tids := range space.TIDSGrid {
 			for _, k := range space.Detections {
-				jobs = append(jobs, job{m, tids, k})
+				c := cfg
+				c.M = m
+				c.TIDS = tids
+				c.Detection = k
+				cfgs = append(cfgs, c)
 			}
 		}
 	}
-	points := make([]DesignPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg
-			c.M = j.m
-			c.TIDS = j.tids
-			c.Detection = j.kind
-			res, err := Analyze(c)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			points[i] = DesignPoint{
-				M: j.m, TIDS: j.tids, Detection: j.kind,
-				MTTSF: res.MTTSF, Ctotal: res.Ctotal,
-			}
-		}(i, j)
+	results, err := DefaultEvaluator().EvalBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("core: design space: %w", err)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: design point m=%d TIDS=%v %v: %w",
-				jobs[i].m, jobs[i].tids, jobs[i].kind, err)
+	points := make([]DesignPoint, len(results))
+	for i, res := range results {
+		points[i] = DesignPoint{
+			M: cfgs[i].M, TIDS: cfgs[i].TIDS, Detection: cfgs[i].Detection,
+			MTTSF: res.MTTSF, Ctotal: res.Ctotal,
 		}
 	}
 	sort.Slice(points, func(a, b int) bool { return points[a].Ctotal < points[b].Ctotal })

@@ -29,20 +29,11 @@ func SampleFailureTimes(cfg Config, reps int, seed int64) ([]FailureSample, erro
 	if reps < 1 {
 		return nil, fmt.Errorf("core: need at least 1 replication")
 	}
-	model, err := BuildModel(cfg)
+	p, err := Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	graph, err := model.Explore()
-	if err != nil {
-		return nil, err
-	}
-	rng := des.NewStream(seed)
-	out := make([]FailureSample, reps)
-	for r := 0; r < reps; r++ {
-		out[r] = sampleOnce(model, graph, rng)
-	}
-	return out, nil
+	return p.SampleFailureTimes(reps, seed)
 }
 
 // sampleOnce walks the CTMC from the initial state to absorption.
@@ -87,6 +78,11 @@ func Survival(cfg Config, reps int, seed int64) (*SurvivalCurve, error) {
 	if err != nil {
 		return nil, err
 	}
+	return survivalFromSamples(samples), nil
+}
+
+// survivalFromSamples sorts the samples into an empirical survival curve.
+func survivalFromSamples(samples []FailureSample) *SurvivalCurve {
 	sort.Slice(samples, func(i, j int) bool { return samples[i].Time < samples[j].Time })
 	c := &SurvivalCurve{
 		Samples: make([]float64, len(samples)),
@@ -96,7 +92,7 @@ func Survival(cfg Config, reps int, seed int64) (*SurvivalCurve, error) {
 		c.Samples[i] = s.Time
 		c.Causes[i] = s.Cause
 	}
-	return c, nil
+	return c
 }
 
 // ProbSurvive returns the empirical P(T > t).
@@ -158,6 +154,14 @@ type MissionAssurance struct {
 // differ: a fat right tail raises the mean without helping a short
 // mission.
 func AssureMission(cfg Config, grid []float64, missionTime float64, reps int, seed int64) (*MissionAssurance, error) {
+	return AssureMissionWith(cfg, grid, missionTime, reps, seed, Survival)
+}
+
+// AssureMissionWith is AssureMission parameterized by the survival source,
+// so the evaluation engine can run the identical grid search — same
+// per-point seed stride, same best-point tie-break — over its cached
+// reachability graphs.
+func AssureMissionWith(cfg Config, grid []float64, missionTime float64, reps int, seed int64, survival func(Config, int, int64) (*SurvivalCurve, error)) (*MissionAssurance, error) {
 	if missionTime <= 0 {
 		return nil, fmt.Errorf("core: mission time must be positive, got %v", missionTime)
 	}
@@ -171,7 +175,7 @@ func AssureMission(cfg Config, grid []float64, missionTime float64, reps int, se
 	for i, tids := range grid {
 		c := cfg
 		c.TIDS = tids
-		curve, err := Survival(c, reps, seed+int64(i)*104729)
+		curve, err := survival(c, reps, seed+int64(i)*104729)
 		if err != nil {
 			return nil, fmt.Errorf("core: survival at TIDS=%v: %w", tids, err)
 		}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/shapes"
 )
@@ -20,34 +18,27 @@ type SweepPoint struct {
 	Result *Result
 }
 
-// SweepTIDS evaluates the model at every TIDS in grid, in parallel across
-// CPUs (each evaluation is an independent SPN solve).
+// SweepTIDS evaluates the model at every TIDS in grid through the default
+// Evaluator's batch API: parallelism is bounded by the evaluator's worker
+// pool (no goroutine-per-point fan-out), and when the memoizing engine is
+// installed, grid points already evaluated — by this sweep or any earlier
+// one — are served from cache.
 func SweepTIDS(cfg Config, grid []float64) ([]SweepPoint, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("core: empty TIDS grid")
 	}
-	points := make([]SweepPoint, len(grid))
-	errs := make([]error, len(grid))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	cfgs := make([]Config, len(grid))
 	for i, tids := range grid {
-		wg.Add(1)
-		go func(i int, tids float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg
-			c.TIDS = tids
-			res, err := Analyze(c)
-			points[i] = SweepPoint{TIDS: tids, Result: res}
-			errs[i] = err
-		}(i, tids)
+		cfgs[i] = cfg
+		cfgs[i].TIDS = tids
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep at TIDS=%v: %w", grid[i], err)
-		}
+	results, err := DefaultEvaluator().EvalBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("core: TIDS sweep: %w", err)
+	}
+	points := make([]SweepPoint, len(grid))
+	for i, tids := range grid {
+		points[i] = SweepPoint{TIDS: tids, Result: results[i]}
 	}
 	return points, nil
 }

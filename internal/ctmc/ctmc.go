@@ -143,6 +143,7 @@ func (c *Chain) subGenerator() *linalg.CSR {
 // near-triangular absorption structure of IDS models), then BiCGSTAB, then
 // dense LU for small systems as a last resort.
 func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
+	solveCount.Add(1)
 	x, _, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
 	if err == nil {
 		return x, nil
@@ -175,6 +176,11 @@ func (c *Chain) SojournTimes(init int) (linalg.Vector, error) {
 	if len(c.tRev) == 0 {
 		return y, nil
 	}
+	if len(c.tRev) == c.n {
+		// Fail fast: with no absorbing state Q_TT is singular and the
+		// sojourn times are infinite; don't burn the solver cascade.
+		return nil, fmt.Errorf("ctmc: chain has no absorbing states; MTTA is infinite")
+	}
 	at := c.subGeneratorT()
 	rhs := linalg.NewVector(len(c.tRev))
 	rhs[c.tIdx[init]] = -1
@@ -194,66 +200,44 @@ func (c *Chain) SojournTimes(init int) (linalg.Vector, error) {
 
 // MeanTimeToAbsorption returns the expected time until the chain started in
 // init reaches any absorbing state. It returns an error if no absorbing
-// state is reachable (infinite expectation).
+// state is reachable (infinite expectation). One linear solve; callers that
+// need more than one absorption metric should use Solve once and derive
+// them from the Solution.
 func (c *Chain) MeanTimeToAbsorption(init int) (float64, error) {
 	if len(c.tRev) == c.n {
 		return 0, fmt.Errorf("ctmc: chain has no absorbing states; MTTA is infinite")
 	}
-	y, err := c.SojournTimes(init)
+	s, err := c.Solve(init)
 	if err != nil {
 		return 0, err
 	}
-	return y.Sum(), nil
+	return s.MeanTimeToAbsorption()
 }
 
 // AccumulatedReward returns E[∫ r(X_t) dt until absorption | X_0 = init]
-// for a per-state reward-rate vector r of length NumStates.
+// for a per-state reward-rate vector r of length NumStates. One linear
+// solve; prefer Solve + Solution.AccumulatedReward when combining metrics.
 func (c *Chain) AccumulatedReward(init int, reward linalg.Vector) (float64, error) {
 	if len(reward) != c.n {
 		return 0, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), c.n)
 	}
-	y, err := c.SojournTimes(init)
+	s, err := c.Solve(init)
 	if err != nil {
 		return 0, err
 	}
-	return y.Dot(reward), nil
+	return s.AccumulatedReward(reward)
 }
 
 // AbsorptionProbabilities returns, for each absorbing state a, the
-// probability that the chain started in init is absorbed in a.
+// probability that the chain started in init is absorbed in a. One linear
+// solve; prefer Solve + Solution.AbsorptionProbabilities when combining
+// metrics.
 func (c *Chain) AbsorptionProbabilities(init int) (map[int]float64, error) {
-	probs := make(map[int]float64)
-	if c.absorbing[init] {
-		probs[init] = 1
-		return probs, nil
-	}
-	y, err := c.SojournTimes(init)
+	s, err := c.Solve(init)
 	if err != nil {
 		return nil, err
 	}
-	// P(absorb in a) = sum_j y[j] * q[j][a] over transient j.
-	for _, j := range c.tRev {
-		yj := y[j]
-		if yj == 0 {
-			continue
-		}
-		c.q.Row(j, func(k int, v float64) {
-			if k != j && c.absorbing[k] {
-				probs[k] += yj * v
-			}
-		})
-	}
-	// Clamp tiny numerical drift.
-	total := 0.0
-	for _, p := range probs {
-		total += p
-	}
-	if total > 0 {
-		for k := range probs {
-			probs[k] /= total
-		}
-	}
-	return probs, nil
+	return s.AbsorptionProbabilities(), nil
 }
 
 // ExpectedRewardAllStarts solves Q_TT w = -r restricted to transient states

@@ -1,0 +1,103 @@
+package ctmc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+)
+
+// solveCount counts invocations of the transient linear-solve cascade. The
+// evaluation engine's tests use it to assert that one Analyze performs
+// exactly one solve; it deliberately counts solve() entries, not the
+// individual SOR/BiCGSTAB/LU attempts inside the cascade.
+var solveCount atomic.Uint64
+
+// SolveCount returns the cumulative number of transient linear solves
+// performed by this process.
+func SolveCount() uint64 { return solveCount.Load() }
+
+// Solution captures one sojourn-time solve of a chain for a fixed initial
+// state. Every absorption functional of the chain — mean time to
+// absorption, accumulated rewards, absorption-probability splits — is a
+// linear functional of the sojourn vector, so deriving them from a
+// Solution costs no further linear solves.
+type Solution struct {
+	chain *Chain
+	init  int
+	y     linalg.Vector // expected sojourn time per state before absorption
+}
+
+// Solve performs the single transient solve for a chain started in init
+// and returns the Solution all downstream metrics derive from.
+func (c *Chain) Solve(init int) (*Solution, error) {
+	y, err := c.SojournTimes(init)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{chain: c, init: init, y: y}, nil
+}
+
+// Chain returns the chain this solution belongs to.
+func (s *Solution) Chain() *Chain { return s.chain }
+
+// Init returns the initial state the solve was anchored at.
+func (s *Solution) Init() int { return s.init }
+
+// SojournTimes returns the expected total time spent in each state before
+// absorption (shared slice; do not mutate).
+func (s *Solution) SojournTimes() linalg.Vector { return s.y }
+
+// MeanTimeToAbsorption returns the expected time until absorption. It
+// errors when the chain has no absorbing states (infinite expectation).
+func (s *Solution) MeanTimeToAbsorption() (float64, error) {
+	if s.chain.NumTransient() == s.chain.n {
+		return 0, fmt.Errorf("ctmc: chain has no absorbing states; MTTA is infinite")
+	}
+	return s.y.Sum(), nil
+}
+
+// AccumulatedReward returns E[∫ r(X_t) dt until absorption | X_0 = init]
+// for a per-state reward-rate vector r of length NumStates — a dot
+// product, no additional solve.
+func (s *Solution) AccumulatedReward(reward linalg.Vector) (float64, error) {
+	if len(reward) != s.chain.n {
+		return 0, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), s.chain.n)
+	}
+	return s.y.Dot(reward), nil
+}
+
+// AbsorptionProbabilities returns, for each absorbing state a, the
+// probability of being absorbed in a, derived from the sojourn vector via
+// P(absorb in a) = Σ_j y[j]·q[j][a] over transient j — no additional
+// solve.
+func (s *Solution) AbsorptionProbabilities() map[int]float64 {
+	probs := make(map[int]float64)
+	c := s.chain
+	if c.absorbing[s.init] {
+		probs[s.init] = 1
+		return probs
+	}
+	for _, j := range c.tRev {
+		yj := s.y[j]
+		if yj == 0 {
+			continue
+		}
+		c.q.Row(j, func(k int, v float64) {
+			if k != j && c.absorbing[k] {
+				probs[k] += yj * v
+			}
+		})
+	}
+	// Clamp tiny numerical drift.
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if total > 0 {
+		for k := range probs {
+			probs[k] /= total
+		}
+	}
+	return probs
+}

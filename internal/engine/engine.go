@@ -1,0 +1,266 @@
+// Package engine is the memoizing evaluation service the rest of the
+// system routes model evaluations through. It sits between the model layer
+// (internal/core: SPN → reachability graph → CTMC, one transient solve per
+// configuration) and every consumer of results (sweeps, Pareto frontiers,
+// figures, baselines, mission assurance, the public API, and the CLIs).
+//
+// The engine contributes three things on top of core.Direct:
+//
+//  1. Single-solve reuse: each configuration is prepared once (SPN built,
+//     graph explored, CTMC assembled) and solved once; MTTSF, Ĉtotal, the
+//     failure split, expected event counts, and survival sampling all
+//     derive from that one ctmc.Solution via core.Prepared.
+//  2. Memoization: full Results are cached behind a canonical Config
+//     fingerprint (see Fingerprint) in a concurrency-safe LRU with
+//     in-flight deduplication, so overlapping grids — SweepTIDS,
+//     CompareDetections, TradeoffFrontier, AssureMission, Figures,
+//     Baselines — never re-evaluate the same point.
+//  3. Bounded batching: EvalBatch fans a slice of configurations over a
+//     fixed worker pool (not goroutine-per-point) and joins per-point
+//     errors.
+//
+// Importing this package installs the default engine as core's default
+// Evaluator, which is what rewires core.SweepTIDS / ExploreDesignSpace and
+// everything above them onto the shared cache.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+func init() { core.SetDefaultEvaluator(Default()) }
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize bounds the Result LRU (default 4096 entries; Results are
+	// small value structs).
+	CacheSize int
+	// PreparedCacheSize bounds the prepared-model LRU (default 64;
+	// entries hold full reachability graphs and are memory-heavy).
+	PreparedCacheSize int
+	// Workers bounds EvalBatch parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Stats is a point-in-time snapshot of the engine's accounting.
+type Stats struct {
+	// Hits counts Evals served from the Result cache (including callers
+	// that joined an in-flight evaluation of the same point).
+	Hits uint64
+	// Misses counts Evals that had to evaluate.
+	Misses uint64
+	// Evals counts actual model evaluations performed (== unique points
+	// evaluated, absent evictions).
+	Evals uint64
+	// Evictions counts Result-cache LRU evictions.
+	Evictions uint64
+	// Entries and PreparedEntries are current cache occupancies.
+	Entries, PreparedEntries int
+}
+
+// String renders the stats for CLI output.
+func (s Stats) String() string {
+	total := s.Hits + s.Misses
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(s.Hits) / float64(total)
+	}
+	return fmt.Sprintf("engine: %d evals, %d hits / %d lookups (%.0f%% hit rate), %d cached results, %d cached models",
+		s.Evals, s.Hits, total, 100*ratio, s.Entries, s.PreparedEntries)
+}
+
+// Engine is a concurrency-safe memoizing evaluator. The zero value is not
+// usable; construct with New or use Default.
+type Engine struct {
+	workers int
+
+	mu       sync.Mutex
+	results  *lruCache // fingerprint -> core.Result (value copy)
+	prepared *lruCache // fingerprint -> *core.Prepared
+	inflight map[string]*inflightCall
+
+	hits, misses, evals atomic.Uint64
+}
+
+// inflightCall deduplicates concurrent evaluations of the same point: the
+// first caller evaluates, the rest wait and share the outcome.
+type inflightCall struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// New constructs an Engine.
+func New(opts Options) *Engine {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 4096
+	}
+	if opts.PreparedCacheSize <= 0 {
+		opts.PreparedCacheSize = 64
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:  opts.Workers,
+		results:  newLRU(opts.CacheSize),
+		prepared: newLRU(opts.PreparedCacheSize),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+var defaultEngine = New(Options{})
+
+// Default returns the process-wide engine the public API's free functions
+// and core's grid drivers share.
+func Default() *Engine { return defaultEngine }
+
+// Eval evaluates one configuration, serving repeats from cache. The
+// returned Result is the caller's own copy.
+func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
+	key := Fingerprint(cfg)
+	e.mu.Lock()
+	if v, ok := e.results.get(key); ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		r := v.(core.Result)
+		r.Config = cfg // caller's own spelling; no aliasing into the cache
+		return &r, nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		e.hits.Add(1)
+		r := c.res
+		r.Config = cfg
+		return &r, nil
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+	e.misses.Add(1)
+
+	// Deregister and release waiters even if evaluate panics; a wedged
+	// inflight entry would block every later Eval of this key forever.
+	var res *core.Result
+	var err error
+	defer func() {
+		e.mu.Lock()
+		delete(e.inflight, key)
+		if err == nil && res != nil {
+			c.res = *res
+			e.results.add(key, c.res)
+		} else if err == nil {
+			err = fmt.Errorf("engine: evaluation aborted (panic in model build or solve)")
+		}
+		c.err = err
+		e.mu.Unlock()
+		close(c.done)
+	}()
+	res, err = e.evaluate(key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := *res
+	r.Config = cfg
+	return &r, nil
+}
+
+// evaluate performs a cache miss: reuse (or build) the prepared model and
+// derive the Result from its single solve.
+func (e *Engine) evaluate(key string, cfg core.Config) (*core.Result, error) {
+	p, err := e.preparedFor(key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.evals.Add(1)
+	return p.Analyze()
+}
+
+// preparedFor returns the cached prepared model for key, building and
+// caching it when absent. Callers racing on the same key are already
+// serialized by the in-flight map in Eval; Prepared and Survival callers
+// may rarely build a duplicate, which is correct (just not free).
+func (e *Engine) preparedFor(key string, cfg core.Config) (*core.Prepared, error) {
+	e.mu.Lock()
+	if v, ok := e.prepared.get(key); ok {
+		e.mu.Unlock()
+		return v.(*core.Prepared), nil
+	}
+	e.mu.Unlock()
+	p, err := core.Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.prepared.add(key, p)
+	e.mu.Unlock()
+	return p, nil
+}
+
+// Prepared returns the (cached) fully built evaluation state for a
+// configuration, for callers that need graph-level access.
+func (e *Engine) Prepared(cfg core.Config) (*core.Prepared, error) {
+	return e.preparedFor(Fingerprint(cfg), cfg)
+}
+
+// EvalBatch evaluates a slice of configurations over the engine's bounded
+// worker pool, preserving order. Duplicate points within a batch collapse
+// onto one evaluation through the in-flight map.
+func (e *Engine) EvalBatch(cfgs []core.Config) ([]*core.Result, error) {
+	return core.RunBatch(cfgs, e.workers, e.Eval)
+}
+
+// Survival estimates the survival function with reps exact CTMC samples,
+// reusing the cached reachability graph for the configuration.
+func (e *Engine) Survival(cfg core.Config, reps int, seed int64) (*core.SurvivalCurve, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("engine: need at least 1 replication")
+	}
+	p, err := e.Prepared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Survival(reps, seed)
+}
+
+// AssureMission evaluates P(survive missionTime) across a TIDS grid with
+// reps samples per point — the same grid search as core.AssureMission
+// (shared via core.AssureMissionWith), but sampling over the engine's
+// cached reachability graphs.
+func (e *Engine) AssureMission(cfg core.Config, grid []float64, missionTime float64, reps int, seed int64) (*core.MissionAssurance, error) {
+	return core.AssureMissionWith(cfg, grid, missionTime, reps, seed, e.Survival)
+}
+
+// Stats snapshots the engine's accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		Evals:           e.evals.Load(),
+		Evictions:       e.results.evictions,
+		Entries:         e.results.len(),
+		PreparedEntries: e.prepared.len(),
+	}
+}
+
+// Reset empties both caches and zeroes the counters (test support).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.results.reset()
+	e.prepared.reset()
+	e.hits.Store(0)
+	e.misses.Store(0)
+	e.evals.Store(0)
+}

@@ -1,0 +1,59 @@
+package engine
+
+import "container/list"
+
+// lruCache is a plain (externally locked) LRU map from fingerprint to an
+// arbitrary value. The Engine guards it with its own mutex, so the cache
+// itself carries no locking.
+type lruCache struct {
+	cap       int
+	order     *list.List // front = most recently used; values are *lruEntry
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+// add inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) add(key string, value any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, value: value})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// len returns the number of live entries.
+func (c *lruCache) len() int { return c.order.Len() }
+
+// reset drops every entry (eviction counter included).
+func (c *lruCache) reset() {
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+	c.evictions = 0
+}

@@ -5,6 +5,12 @@ import (
 	"io"
 
 	"repro/internal/core"
+
+	// Installs the memoizing evaluation engine as core's default
+	// Evaluator for every experiments consumer; the batch calls below
+	// route through core.DefaultEvaluator so tests can still pin the
+	// direct path with core.SetDefaultEvaluator.
+	_ "repro/internal/engine"
 )
 
 // BaselineRow is one protocol variant's evaluation in the baseline
@@ -54,11 +60,16 @@ func Baselines(cfg core.Config) (*BaselineTable, error) {
 		{"cluster-head IDS", clusterHead},
 		{fmt.Sprintf("voting IDS (m=%d)", cfg.M), cfg},
 	}
-	for _, v := range variants {
-		res, err := core.Analyze(v.cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline %q: %w", v.name, err)
-		}
+	cfgs := make([]core.Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = v.cfg
+	}
+	results, err := core.DefaultEvaluator().EvalBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baselines: %w", err)
+	}
+	for i, v := range variants {
+		res := results[i]
 		table.Rows = append(table.Rows, BaselineRow{
 			Protocol: v.name,
 			MTTSF:    res.MTTSF,
