@@ -1,0 +1,300 @@
+// Command bench runs the canonical performance workloads — state-space
+// exploration, generator assembly, transient solves, and the paper's
+// sweep/frontier pipelines — at several model sizes and writes the
+// measurements to a BENCH_<rev>.json artifact. The JSON files form the
+// repository's performance trajectory: each revision's numbers are compared
+// against the previous revision's committed baseline (see README.md for the
+// schema).
+//
+// Usage:
+//
+//	bench [-preset small|full] [-rev name] [-o file] [-baseline file]
+//
+// The small preset (N = 30, 60) finishes in well under a minute and is what
+// CI runs; the full preset adds the paper's N = 100. With -baseline the
+// harness prints a per-workload speedup table against an earlier run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/engine"
+	"repro/internal/spn"
+)
+
+// Result is one workload's measurement, in the units `go test -bench`
+// reports plus the domain-specific throughput counters.
+type Result struct {
+	// Name identifies the workload; N is the model size it ran at.
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// Iterations is the number of timed operations the harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp, AllocsPerOp, BytesPerOp follow testing.BenchmarkResult.
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// States is the reachable state count of the model(s) one op touches;
+	// StatesPerSec is the exploration throughput (explore workloads only).
+	States       int     `json:"states,omitempty"`
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	// SolvesPerOp and SolveItersPerOp count transient linear solves and
+	// the iterative-solver iterations they spent (solver workloads only).
+	SolvesPerOp     uint64 `json:"solves_per_op,omitempty"`
+	SolveItersPerOp uint64 `json:"solve_iters_per_op,omitempty"`
+}
+
+// File is the BENCH_<rev>.json document.
+type File struct {
+	Revision   string   `json:"revision"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Preset     string   `json:"preset"`
+	Workloads  []Result `json:"workloads"`
+}
+
+func main() {
+	preset := flag.String("preset", "small", "workload sizes: small (N=30,60) or full (adds N=100)")
+	rev := flag.String("rev", "dev", "revision label used in the default output name")
+	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
+	baseline := flag.String("baseline", "", "optional earlier BENCH_*.json to print speedups against")
+	flag.Parse()
+
+	var ns []int
+	switch *preset {
+	case "small":
+		ns = []int{30, 60}
+	case "full":
+		ns = []int{30, 60, 100}
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+
+	f := File{
+		Revision:   *rev,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Preset:     *preset,
+	}
+	for _, n := range ns {
+		f.Workloads = append(f.Workloads, kernelWorkloads(n)...)
+	}
+	sweepN := ns[len(ns)-1]
+	f.Workloads = append(f.Workloads, sweepWorkloads(sweepN)...)
+	f.Workloads = append(f.Workloads, frontierWorkload(30))
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", path, len(f.Workloads))
+
+	if *baseline != "" {
+		if err := printComparison(*baseline, f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// mustPrepare builds the model and reachability graph for size n.
+func mustPrepare(n int) (*core.Model, *spn.Graph) {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	m, err := core.BuildModel(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := m.Explore()
+	if err != nil {
+		fatal(err)
+	}
+	return m, g
+}
+
+// kernelWorkloads measures the building blocks of one evaluation at size n:
+// cold exploration across the TIDS grid, generator assembly, generator
+// transposition, and the transient solve.
+func kernelWorkloads(n int) []Result {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	_, g := mustPrepare(n)
+	chain := ctmc.FromGraph(g)
+
+	// explore_sweep: a cold-cache reachability sweep over the paper's TIDS
+	// grid — state-space generation is all it does, so it is the
+	// Explore-dominated workload the perf trajectory tracks.
+	states := 0
+	exploreSweep := func() {
+		states = 0
+		for _, tids := range core.PaperTIDSGrid {
+			c := cfg
+			c.TIDS = tids
+			m, err := core.BuildModel(c)
+			if err != nil {
+				fatal(err)
+			}
+			gg, err := m.Explore()
+			if err != nil {
+				fatal(err)
+			}
+			states += gg.NumStates()
+		}
+	}
+	rExplore := measure("explore_sweep", n, exploreSweep)
+	rExplore.States = states
+	if rExplore.NsPerOp > 0 {
+		rExplore.StatesPerSec = float64(states) / (float64(rExplore.NsPerOp) * 1e-9)
+	}
+
+	rAssemble := measure("assemble_generator", n, func() { ctmc.FromGraph(g) })
+	rAssemble.States = g.NumStates()
+
+	q := chain.Generator()
+	rTranspose := measure("transpose_generator", n, func() { q.Transpose() })
+
+	// solve: the transient sojourn solve on a prebuilt chain — the solver
+	// kernel (SOR cascade) plus whatever per-solve assembly the chain
+	// still performs.
+	solves0, iters0 := ctmc.SolveCount(), ctmc.SolveIterations()
+	ops := 0
+	rSolve := measure("solve_sojourn", n, func() {
+		ops++
+		if _, err := chain.Solve(g.Initial); err != nil {
+			fatal(err)
+		}
+	})
+	rSolve.States = g.NumStates()
+	if ops > 0 {
+		rSolve.SolvesPerOp = (ctmc.SolveCount() - solves0) / uint64(ops)
+		rSolve.SolveItersPerOp = (ctmc.SolveIterations() - iters0) / uint64(ops)
+	}
+	return []Result{rExplore, rAssemble, rTranspose, rSolve}
+}
+
+// sweepWorkloads measures the full evaluation pipeline over the paper's
+// TIDS grid at size n: once through the memoization-free Direct path (every
+// point pays the complete cold miss) and once through a fresh memoizing
+// engine per op.
+func sweepWorkloads(n int) []Result {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+
+	prev := core.SetDefaultEvaluator(core.Direct{})
+	rCold := measure("sweep_cold", n, func() {
+		if _, err := core.SweepTIDS(cfg, core.PaperTIDSGrid); err != nil {
+			fatal(err)
+		}
+	})
+	core.SetDefaultEvaluator(prev)
+
+	rEngine := measure("sweep_engine", n, func() {
+		e := engine.New(engine.Options{})
+		prev := core.SetDefaultEvaluator(e)
+		if _, err := core.SweepTIDS(cfg, core.PaperTIDSGrid); err != nil {
+			core.SetDefaultEvaluator(prev)
+			fatal(err)
+		}
+		core.SetDefaultEvaluator(prev)
+	})
+	return []Result{rCold, rEngine}
+}
+
+// frontierWorkload measures the design-space Pareto frontier (the paper's
+// Section 5 tradeoff search) through a fresh engine per op.
+func frontierWorkload(n int) Result {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	return measure("frontier_engine", n, func() {
+		e := engine.New(engine.Options{})
+		prev := core.SetDefaultEvaluator(e)
+		if _, err := core.TradeoffFrontier(cfg, core.DefaultDesignSpace()); err != nil {
+			core.SetDefaultEvaluator(prev)
+			fatal(err)
+		}
+		core.SetDefaultEvaluator(prev)
+	})
+}
+
+// measure times fn with the testing benchmark harness and reports it.
+func measure(name string, n int, fn func()) Result {
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	r := Result{
+		Name:        name,
+		N:           n,
+		Iterations:  br.N,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	fmt.Printf("%-20s N=%-4d %12d ns/op %10d B/op %8d allocs/op\n",
+		name, n, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	return r
+}
+
+// printComparison renders per-workload speedups of cur against the run
+// stored at path, matching workloads by (name, N).
+func printComparison(path string, cur File) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	type key struct {
+		name string
+		n    int
+	}
+	old := make(map[key]Result, len(base.Workloads))
+	for _, w := range base.Workloads {
+		old[key{w.Name, w.N}] = w
+	}
+	fmt.Printf("\nvs %s (%s):\n", base.Revision, path)
+	fmt.Printf("%-20s %-5s %10s %10s %12s %12s\n", "workload", "N", "speedup", "allocs", "ns/op old", "ns/op new")
+	for _, w := range cur.Workloads {
+		o, ok := old[key{w.Name, w.N}]
+		if !ok || w.NsPerOp == 0 {
+			continue
+		}
+		allocs := "n/a"
+		if o.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("%.2fx", float64(o.AllocsPerOp)/float64(max(w.AllocsPerOp, 1)))
+		}
+		fmt.Printf("%-20s %-5d %9.2fx %10s %12d %12d\n",
+			w.Name, w.N, float64(o.NsPerOp)/float64(w.NsPerOp), allocs, o.NsPerOp, w.NsPerOp)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -26,6 +26,18 @@ type Model struct {
 
 	// place indices, cached for rate closures
 	tm, ucm, dcm, gf, ng int
+
+	// Rate-evaluation memos. The voting error probabilities depend only on
+	// the per-group composition (nGood, nBad) and the detection rate only
+	// on the live member count, while exploration evaluates them for every
+	// enabled transition of every state — most of which collapse onto few
+	// distinct keys. Both are pure functions of their key, so memoizing
+	// them is exact. The maps are unsynchronized: they are written during
+	// the single-threaded reachability exploration and by costRewards
+	// under Prepared's resultOnce guard; any new post-exploration caller
+	// of votingProbs/detectionRate must serialize the same way.
+	voteMemo   map[uint64][2]float64
+	detectMemo map[int]float64
 }
 
 // BuildModel constructs the Figure 1 SPN under the given configuration.
@@ -39,7 +51,12 @@ func BuildModel(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{Config: cfg, Net: spn.New()}
+	m := &Model{
+		Config:     cfg,
+		Net:        spn.New(),
+		voteMemo:   make(map[uint64][2]float64),
+		detectMemo: make(map[int]float64),
+	}
 	m.tm = m.Net.AddPlace(placeTm)
 	m.ucm = m.Net.AddPlace(placeUCm)
 	if cfg.ExplicitEviction {
@@ -257,16 +274,30 @@ func roundDiv(a, b int) int {
 // cluster-head closed form for the related-work comparator.
 func (m *Model) votingProbs(vote voting.Params, mk spn.Marking) (pfn, pfp float64) {
 	nGood, nBad, _ := m.perGroup(mk)
-	if m.Config.Protocol == ProtocolClusterHead {
-		return voting.ClusterHeadFalseNegative(nGood, nBad, vote.P1),
-			voting.ClusterHeadFalsePositive(nGood, nBad, vote.P2)
+	key := uint64(uint32(nGood))<<32 | uint64(uint32(nBad))
+	if p, ok := m.voteMemo[key]; ok {
+		return p[0], p[1]
 	}
-	return vote.Probabilities(nGood, nBad)
+	if m.Config.Protocol == ProtocolClusterHead {
+		pfn = voting.ClusterHeadFalseNegative(nGood, nBad, vote.P1)
+		pfp = voting.ClusterHeadFalsePositive(nGood, nBad, vote.P2)
+	} else {
+		pfn, pfp = vote.Probabilities(nGood, nBad)
+	}
+	m.voteMemo[key] = [2]float64{pfn, pfp}
+	return pfn, pfp
 }
 
-// detectionRate evaluates D(md) with md = Ninit/(Tm + UCm).
+// detectionRate evaluates D(md) with md = Ninit/(Tm + UCm), memoized on the
+// live member count Tm + UCm.
 func (m *Model) detectionRate(d shapes.Detection, mk spn.Marking) float64 {
-	return d.Rate(shapes.EvictionPressure(m.Config.N, mk[m.tm], mk[m.ucm]))
+	active := mk[m.tm] + mk[m.ucm]
+	if r, ok := m.detectMemo[active]; ok {
+		return r
+	}
+	r := d.Rate(shapes.EvictionPressure(m.Config.N, mk[m.tm], mk[m.ucm]))
+	m.detectMemo[active] = r
+	return r
 }
 
 // rekeyTime returns Tcm for the per-group membership of a marking. The
@@ -289,7 +320,19 @@ func (m *Model) rekeyTime(mk spn.Marking) float64 {
 	return gdh.RekeyTime(size, m.Config.GDHElementBits, m.Config.MeanHops, m.Config.BandwidthBps)
 }
 
-// Explore generates the reachability graph of the model.
+// Explore generates the reachability graph of the model, pre-sizing the
+// exploration from the token-count bounds of the Figure 1 net: Tm ≤ N,
+// UCm ≲ Tm/2 (the C2 guard), NG ≤ MaxGroups, and — in the extended model —
+// a DCm axis that multiplies the space by roughly N/2.
 func (m *Model) Explore() (*spn.Graph, error) {
-	return m.Net.Explore(m.Initial, spn.ExploreOpts{MaxStates: m.Config.EffectiveMaxStates()})
+	cfg := m.Config
+	hint := cfg.MaxGroups * (cfg.N*cfg.N/3 + 4*cfg.N)
+	if cfg.ExplicitEviction {
+		hint *= cfg.N / 2
+	}
+	maxStates := cfg.EffectiveMaxStates()
+	if hint > maxStates {
+		hint = maxStates
+	}
+	return m.Net.Explore(m.Initial, spn.ExploreOpts{MaxStates: maxStates, ExpectedStates: hint})
 }

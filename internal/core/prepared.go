@@ -44,6 +44,31 @@ func Prepare(cfg Config) (*Prepared, error) {
 	return &Prepared{Model: model, Graph: graph, Chain: ctmc.FromGraph(graph)}, nil
 }
 
+// SizeBytes estimates the resident footprint of the prepared model: the
+// interned markings and edge arena of the reachability graph plus the CTMC
+// generator, its (lazily cached) transient sub-generator pair, and the
+// sojourn solution. The evaluation engine byte-budgets its prepared-model
+// LRU with this estimate.
+func (p *Prepared) SizeBytes() int64 {
+	const (
+		wordBytes = 8
+		edgeBytes = 24 // spn.Edge: To int, Rate float64, Transition int
+		csrBytes  = 16 // per nonzero: ColIdx int + Val float64
+	)
+	n := int64(p.Graph.NumStates())
+	places := int64(len(p.Graph.PlaceIdx))
+	edges := int64(p.Graph.NumEdges())
+	nnz := int64(p.Chain.Generator().NNZ())
+	size := n*places*wordBytes // marking arena
+	size += edges * edgeBytes  // edge arena
+	size += n * 3 * wordBytes  // States/Edges headers-ish + marking table
+	// Generator plus the cached Q_TT and its transpose (bounded by the
+	// full generator each) and the sojourn vector.
+	size += 3 * (nnz*csrBytes + (n+1)*wordBytes)
+	size += n * wordBytes
+	return size
+}
+
 // Solution returns the sojourn-time solve for the initial marking,
 // performing it on first use. Repeated calls — and every metric derived
 // through this Prepared — share the one solve.

@@ -1,0 +1,87 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// buildAbsorbingChain returns a small chain with one absorbing state:
+// 0 -> 1 -> 2(absorbing) with an extra 1 -> 0 back edge.
+func buildAbsorbingChain(t *testing.T) *Chain {
+	b := linalg.NewSparseBuilder(3, 3)
+	b.Add(0, 1, 2.0)
+	b.Add(0, 0, -2.0)
+	b.Add(1, 0, 0.5)
+	b.Add(1, 2, 1.5)
+	b.Add(1, 1, -2.0)
+	c, err := NewChain(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSubGeneratorCached asserts that the transient sub-generator and its
+// transpose are built once per chain and shared by repeated solves, and
+// that repeated solves agree exactly.
+func TestSubGeneratorCached(t *testing.T) {
+	c := buildAbsorbingChain(t)
+	if s1, s2 := c.subGenerator(), c.subGenerator(); s1 != s2 {
+		t.Fatal("subGenerator rebuilt on second call")
+	}
+	if t1, t2 := c.subGeneratorT(), c.subGeneratorT(); t1 != t2 {
+		t.Fatal("subGeneratorT rebuilt on second call")
+	}
+	y1, err := c.SojournTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := c.SojournTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("repeated solves differ at state %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+	// The cached pair must actually be transposes of each other.
+	sub, subT := c.subGenerator(), c.subGeneratorT()
+	for i := 0; i < sub.Rows; i++ {
+		for j := 0; j < sub.Cols; j++ {
+			if sub.At(i, j) != subT.At(j, i) {
+				t.Fatalf("sub(%d,%d)=%v but subT(%d,%d)=%v", i, j, sub.At(i, j), j, i, subT.At(j, i))
+			}
+		}
+	}
+}
+
+// TestSubGeneratorMatchesGenerator cross-checks the directly assembled
+// Q_TT against the full generator entries.
+func TestSubGeneratorMatchesGenerator(t *testing.T) {
+	c := buildAbsorbingChain(t)
+	sub := c.subGenerator()
+	if sub.Rows != c.NumTransient() || sub.Cols != c.NumTransient() {
+		t.Fatalf("sub is %dx%d, want %dx%d", sub.Rows, sub.Cols, c.NumTransient(), c.NumTransient())
+	}
+	for ti, i := range c.tRev {
+		for tj, j := range c.tRev {
+			if got, want := sub.At(ti, tj), c.q.At(i, j); got != want {
+				t.Fatalf("Q_TT(%d,%d) = %v, want q(%d,%d) = %v", ti, tj, got, i, j, want)
+			}
+		}
+	}
+	// Restricted rows must stay column-sorted (CSR invariant).
+	for i := 0; i < sub.Rows; i++ {
+		for k := sub.RowPtr[i] + 1; k < sub.RowPtr[i+1]; k++ {
+			if sub.ColIdx[k-1] >= sub.ColIdx[k] {
+				t.Fatalf("sub row %d not sorted", i)
+			}
+		}
+	}
+	if math.IsNaN(sub.At(0, 0)) {
+		t.Fatal("unexpected NaN")
+	}
+}

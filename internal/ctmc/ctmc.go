@@ -9,6 +9,7 @@ package ctmc
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/spn"
@@ -22,13 +23,24 @@ type Chain struct {
 	// transient index mapping: full state -> compact transient index or -1
 	tIdx []int
 	tRev []int // compact transient index -> full state
+
+	// The transient sub-generator Q_TT and its transpose are built at most
+	// once per chain: transient solves, sojourn solves, and all-starts
+	// reward solves on the same chain share them instead of rebuilding.
+	subOnce  sync.Once
+	sub      *linalg.CSR
+	subTOnce sync.Once
+	subT     *linalg.CSR
 }
 
-// FromGraph converts an SPN reachability graph into a CTMC.
+// FromGraph converts an SPN reachability graph into a CTMC. The graph's
+// edges are already grouped by source state, so the generator is assembled
+// directly in CSR form (linalg.NewCSRFromRows) without the coordinate sort
+// a SparseBuilder would pay.
 func FromGraph(g *spn.Graph) *Chain {
 	n := g.NumStates()
-	b := linalg.NewSparseBuilder(n, n)
 	absorbing := make([]bool, n)
+	entries := make([]linalg.Coord, 0, g.NumEdges()+n)
 	for i := 0; i < n; i++ {
 		if g.IsAbsorbing(i) {
 			absorbing[i] = true
@@ -39,16 +51,18 @@ func FromGraph(g *spn.Graph) *Chain {
 			if e.To == i {
 				continue // self loops do not affect the CTMC generator
 			}
-			b.Add(i, e.To, e.Rate)
+			if e.Rate != 0 {
+				entries = append(entries, linalg.Coord{Row: i, Col: e.To, Val: e.Rate})
+			}
 			exit += e.Rate
 		}
 		if exit > 0 {
-			b.Add(i, i, -exit)
+			entries = append(entries, linalg.Coord{Row: i, Col: i, Val: -exit})
 		} else {
 			absorbing[i] = true // only self-loops: stochastically absorbing
 		}
 	}
-	return newChain(b.Build(), absorbing)
+	return newChain(linalg.NewCSRFromRows(n, n, entries), absorbing)
 }
 
 // NewChain builds a chain from an explicit generator matrix. Rows whose
@@ -61,23 +75,22 @@ func NewChain(q *linalg.CSR) (*Chain, error) {
 	n := q.Rows
 	absorbing := make([]bool, n)
 	for i := 0; i < n; i++ {
-		sum, nnz := 0.0, 0
-		var rowErr error
-		q.Row(i, func(j int, v float64) {
-			nnz++
-			sum += v
-			if j != i && v < 0 {
-				rowErr = fmt.Errorf("ctmc: negative off-diagonal rate q[%d][%d]=%v", i, j, v)
-			}
-		})
-		if rowErr != nil {
-			return nil, rowErr
-		}
-		if nnz == 0 {
+		lo, hi := q.RowPtr[i], q.RowPtr[i+1]
+		if lo == hi {
 			absorbing[i] = true
 			continue
 		}
-		if math.Abs(sum) > 1e-9*math.Max(1, math.Abs(q.At(i, i))) {
+		sum, diag := 0.0, 0.0
+		for k := lo; k < hi; k++ {
+			j, v := q.ColIdx[k], q.Val[k]
+			sum += v
+			if j == i {
+				diag = v
+			} else if v < 0 {
+				return nil, fmt.Errorf("ctmc: negative off-diagonal rate q[%d][%d]=%v", i, j, v)
+			}
+		}
+		if math.Abs(sum) > 1e-9*math.Max(1, math.Abs(diag)) {
 			return nil, fmt.Errorf("ctmc: row %d sums to %v, want 0", i, sum)
 		}
 	}
@@ -110,33 +123,47 @@ func (c *Chain) IsAbsorbing(i int) bool { return c.absorbing[i] }
 // Generator returns the underlying generator matrix (shared, do not mutate).
 func (c *Chain) Generator() *linalg.CSR { return c.q }
 
-// subGeneratorT builds the transpose of the transient-restricted
-// sub-generator Q_TT, used by the sojourn-time solve.
+// subGeneratorT returns the transpose of the transient-restricted
+// sub-generator Q_TT, used by the sojourn-time solve. Built once per chain
+// (an O(nnz) counting-sort transpose of the cached Q_TT) and reused by
+// every subsequent solve.
 func (c *Chain) subGeneratorT() *linalg.CSR {
-	nt := len(c.tRev)
-	b := linalg.NewSparseBuilder(nt, nt)
-	for ti, i := range c.tRev {
-		c.q.Row(i, func(j int, v float64) {
-			if tj := c.tIdx[j]; tj >= 0 {
-				b.Add(tj, ti, v) // transposed
-			}
-		})
-	}
-	return b.Build()
+	c.subTOnce.Do(func() {
+		c.subT = c.subGenerator().Transpose()
+	})
+	return c.subT
 }
 
-// subGenerator builds the transient-restricted sub-generator Q_TT.
+// subGenerator returns the transient-restricted sub-generator Q_TT, built
+// once per chain. The compact transient numbering preserves the order of
+// the full numbering, so each restricted row is a filtered copy of the full
+// row with columns still sorted — no builder, no sort.
 func (c *Chain) subGenerator() *linalg.CSR {
-	nt := len(c.tRev)
-	b := linalg.NewSparseBuilder(nt, nt)
-	for ti, i := range c.tRev {
-		c.q.Row(i, func(j int, v float64) {
-			if tj := c.tIdx[j]; tj >= 0 {
-				b.Add(ti, tj, v)
+	c.subOnce.Do(func() {
+		nt := len(c.tRev)
+		sub := &linalg.CSR{Rows: nt, Cols: nt, RowPtr: make([]int, nt+1)}
+		nnz := 0
+		for _, i := range c.tRev {
+			for k := c.q.RowPtr[i]; k < c.q.RowPtr[i+1]; k++ {
+				if c.tIdx[c.q.ColIdx[k]] >= 0 {
+					nnz++
+				}
 			}
-		})
-	}
-	return b.Build()
+		}
+		sub.ColIdx = make([]int, 0, nnz)
+		sub.Val = make([]float64, 0, nnz)
+		for ti, i := range c.tRev {
+			for k := c.q.RowPtr[i]; k < c.q.RowPtr[i+1]; k++ {
+				if tj := c.tIdx[c.q.ColIdx[k]]; tj >= 0 {
+					sub.ColIdx = append(sub.ColIdx, tj)
+					sub.Val = append(sub.Val, c.q.Val[k])
+				}
+			}
+			sub.RowPtr[ti+1] = len(sub.ColIdx)
+		}
+		c.sub = sub
+	})
+	return c.sub
 }
 
 // solve runs the solver cascade used throughout: SOR first (fast on the
@@ -144,11 +171,13 @@ func (c *Chain) subGenerator() *linalg.CSR {
 // dense LU for small systems as a last resort.
 func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
 	solveCount.Add(1)
-	x, _, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	x, res, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	solveIters.Add(uint64(res.Iterations))
 	if err == nil {
 		return x, nil
 	}
-	x, _, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	x, res, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	solveIters.Add(uint64(res.Iterations))
 	if err2 == nil {
 		return x, nil
 	}

@@ -13,9 +13,19 @@ import (
 // individual SOR/BiCGSTAB/LU attempts inside the cascade.
 var solveCount atomic.Uint64
 
+// solveIters accumulates the iteration counts reported by the iterative
+// solvers inside the cascade (SOR sweeps plus BiCGSTAB steps when the
+// fallback runs). The benchmark harness divides its delta by the solve
+// count to report iterations per solve.
+var solveIters atomic.Uint64
+
 // SolveCount returns the cumulative number of transient linear solves
 // performed by this process.
 func SolveCount() uint64 { return solveCount.Load() }
+
+// SolveIterations returns the cumulative number of iterative-solver
+// iterations spent inside the transient solve cascade.
+func SolveIterations() uint64 { return solveIters.Load() }
 
 // Solution captures one sojourn-time solve of a chain for a fixed initial
 // state. Every absorption functional of the chain — mean time to
@@ -83,11 +93,11 @@ func (s *Solution) AbsorptionProbabilities() map[int]float64 {
 		if yj == 0 {
 			continue
 		}
-		c.q.Row(j, func(k int, v float64) {
-			if k != j && c.absorbing[k] {
-				probs[k] += yj * v
+		for k := c.q.RowPtr[j]; k < c.q.RowPtr[j+1]; k++ {
+			if dst := c.q.ColIdx[k]; dst != j && c.absorbing[dst] {
+				probs[dst] += yj * c.q.Val[k]
 			}
-		})
+		}
 	}
 	// Clamp tiny numerical drift.
 	total := 0.0

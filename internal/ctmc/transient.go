@@ -48,14 +48,17 @@ func (c *Chain) TransientProbabilities(p0 linalg.Vector, t float64, opts Transie
 	// vectors: v_{k+1} = v_k P  ==  v_{k+1}^T = P^T v_k^T.
 	pt := c.uniformizedPT(lambda)
 	lt := lambda * t
-	// Poisson weights in log space with running renormalization.
+	// Poisson weights in log space with running renormalization. The
+	// series terms double-buffer through v/vNext: no allocation per term.
 	out := linalg.NewVector(c.n)
 	v := p0.Clone()
+	vNext := linalg.NewVector(c.n)
 	logW := -lt // ln Poisson(lt; 0)
 	cum := 0.0
 	for k := 0; ; k++ {
 		if k > 0 {
-			v = pt.MulVec(v)
+			pt.MulVecTo(vNext, v)
+			v, vNext = vNext, v
 			logW += math.Log(lt) - math.Log(float64(k))
 		}
 		w := math.Exp(logW)
@@ -79,23 +82,51 @@ func (c *Chain) TransientProbabilities(p0 linalg.Vector, t float64, opts Transie
 	return out, nil
 }
 
-// uniformizedPT returns (I + Q/lambda)^T as CSR.
+// uniformizedPT returns (I + Q/lambda)^T as CSR. P = I + Q/lambda is
+// assembled row-directly (each generator row is already column-sorted; the
+// diagonal entry is inserted or adjusted in place) and transposed with the
+// O(nnz) counting-sort Transpose — no coordinate builder, no sort.
 func (c *Chain) uniformizedPT(lambda float64) *linalg.CSR {
-	b := linalg.NewSparseBuilder(c.n, c.n)
+	p := &linalg.CSR{Rows: c.n, Cols: c.n, RowPtr: make([]int, c.n+1)}
+	p.ColIdx = make([]int, 0, c.q.NNZ()+c.n)
+	p.Val = make([]float64, 0, c.q.NNZ()+c.n)
 	for i := 0; i < c.n; i++ {
 		diag := 1.0
-		c.q.Row(i, func(j int, v float64) {
+		start := len(p.ColIdx)
+		diagPos := -1
+		for k := c.q.RowPtr[i]; k < c.q.RowPtr[i+1]; k++ {
+			j, v := c.q.ColIdx[k], c.q.Val[k]
 			if j == i {
 				diag += v / lambda
-			} else {
-				b.Add(j, i, v/lambda) // transposed
+				diagPos = len(p.ColIdx)
+				p.ColIdx = append(p.ColIdx, i)
+				p.Val = append(p.Val, 0) // patched below
+				continue
 			}
-		})
-		if diag != 0 {
-			b.Add(i, i, diag)
+			if diagPos < 0 && j > i {
+				diagPos = len(p.ColIdx)
+				p.ColIdx = append(p.ColIdx, i)
+				p.Val = append(p.Val, 0)
+			}
+			p.ColIdx = append(p.ColIdx, j)
+			p.Val = append(p.Val, v/lambda)
 		}
+		if diagPos < 0 {
+			diagPos = len(p.ColIdx)
+			p.ColIdx = append(p.ColIdx, i)
+			p.Val = append(p.Val, 0)
+		}
+		if diag != 0 {
+			p.Val[diagPos] = diag
+		} else {
+			// An exactly zero diagonal is dropped, matching the old
+			// builder's semantics.
+			p.ColIdx = append(p.ColIdx[:diagPos], p.ColIdx[diagPos+1:]...)
+			p.Val = append(p.Val[:diagPos], p.Val[diagPos+1:]...)
+		}
+		p.RowPtr[i+1] = p.RowPtr[i] + len(p.ColIdx) - start
 	}
-	return b.Build()
+	return p.Transpose()
 }
 
 // SteadyState returns the stationary distribution pi with pi Q = 0 and
@@ -164,8 +195,11 @@ func (c *Chain) steadyStatePower() (linalg.Vector, error) {
 	pi := linalg.ConstVector(c.n, 1/float64(c.n))
 	prev := linalg.NewVector(c.n)
 	for it := 0; it < 500000; it++ {
-		copy(prev, pi)
-		pi = pt.MulVec(pi)
+		// Double-buffer through prev: the previous iterate is kept for the
+		// convergence check and reused as the next output buffer, so the
+		// iteration allocates nothing.
+		pi, prev = prev, pi
+		pt.MulVecTo(pi, prev)
 		if s := pi.Sum(); s > 0 {
 			pi.Scale(1 / s)
 		}

@@ -38,11 +38,19 @@ func init() { core.SetDefaultEvaluator(Default()) }
 // Options configures an Engine.
 type Options struct {
 	// CacheSize bounds the Result LRU (default 4096 entries; Results are
-	// small value structs).
+	// small value structs). Large caches are striped across up to 16
+	// fingerprint-hashed shards, each holding CacheSize/shards entries,
+	// so concurrent EvalBatch hits do not serialize on one mutex.
 	CacheSize int
-	// PreparedCacheSize bounds the prepared-model LRU (default 64;
-	// entries hold full reachability graphs and are memory-heavy).
+	// PreparedCacheSize bounds the prepared-model LRU by entry count
+	// (default 64). It is the secondary bound; PreparedCacheBytes is the
+	// primary one, since entries hold full reachability graphs whose
+	// footprint varies by orders of magnitude with N.
 	PreparedCacheSize int
+	// PreparedCacheBytes bounds the prepared-model LRU by the summed
+	// core.Prepared.SizeBytes estimates (default 256 MiB). Zero selects
+	// the default; negative disables the byte budget.
+	PreparedCacheBytes int64
 	// Workers bounds EvalBatch parallelism (default GOMAXPROCS).
 	Workers int
 }
@@ -57,10 +65,12 @@ type Stats struct {
 	// Evals counts actual model evaluations performed (== unique points
 	// evaluated, absent evictions).
 	Evals uint64
-	// Evictions counts Result-cache LRU evictions.
+	// Evictions counts Result-cache LRU evictions across all shards.
 	Evictions uint64
 	// Entries and PreparedEntries are current cache occupancies.
 	Entries, PreparedEntries int
+	// PreparedBytes is the estimated footprint of the prepared-model LRU.
+	PreparedBytes int64
 }
 
 // String renders the stats for CLI output.
@@ -70,21 +80,35 @@ func (s Stats) String() string {
 	if total > 0 {
 		ratio = float64(s.Hits) / float64(total)
 	}
-	return fmt.Sprintf("engine: %d evals, %d hits / %d lookups (%.0f%% hit rate), %d cached results, %d cached models",
-		s.Evals, s.Hits, total, 100*ratio, s.Entries, s.PreparedEntries)
+	return fmt.Sprintf("engine: %d evals, %d hits / %d lookups (%.0f%% hit rate), %d cached results, %d cached models (~%.1f MiB)",
+		s.Evals, s.Hits, total, 100*ratio, s.Entries, s.PreparedEntries, float64(s.PreparedBytes)/(1<<20))
 }
 
 // Engine is a concurrency-safe memoizing evaluator. The zero value is not
 // usable; construct with New or use Default.
+//
+// The Result cache and its in-flight deduplication map are striped across
+// fingerprint-hashed shards, each behind its own mutex, so concurrent
+// cache hits from EvalBatch workers touch disjoint locks. Hit/miss/eval
+// accounting is kept in atomics shared across shards. The prepared-model
+// cache stays behind one mutex: its entries are built rarely (misses cost
+// a full model build) and the lock is never held across a build.
 type Engine struct {
 	workers int
 
-	mu       sync.Mutex
-	results  *lruCache // fingerprint -> core.Result (value copy)
-	prepared *lruCache // fingerprint -> *core.Prepared
-	inflight map[string]*inflightCall
+	shards []resultShard
+
+	pmu      sync.Mutex
+	prepared *lruCache // fingerprint -> *core.Prepared, byte-budgeted
 
 	hits, misses, evals atomic.Uint64
+}
+
+// resultShard is one stripe of the Result cache.
+type resultShard struct {
+	mu       sync.Mutex
+	results  *lruCache // fingerprint -> core.Result (value copy)
+	inflight map[string]*inflightCall
 }
 
 // inflightCall deduplicates concurrent evaluations of the same point: the
@@ -95,6 +119,12 @@ type inflightCall struct {
 	err  error
 }
 
+// maxShards bounds the Result-cache striping.
+const maxShards = 16
+
+// defaultPreparedBytes is the default prepared-model byte budget.
+const defaultPreparedBytes = 256 << 20
+
 // New constructs an Engine.
 func New(opts Options) *Engine {
 	if opts.CacheSize <= 0 {
@@ -103,15 +133,40 @@ func New(opts Options) *Engine {
 	if opts.PreparedCacheSize <= 0 {
 		opts.PreparedCacheSize = 64
 	}
+	if opts.PreparedCacheBytes == 0 {
+		opts.PreparedCacheBytes = defaultPreparedBytes
+	} else if opts.PreparedCacheBytes < 0 {
+		opts.PreparedCacheBytes = 0
+	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
-		workers:  opts.Workers,
-		results:  newLRU(opts.CacheSize),
-		prepared: newLRU(opts.PreparedCacheSize),
-		inflight: make(map[string]*inflightCall),
+	// Stripe only when each shard still holds a useful number of entries;
+	// tiny caches keep exact global LRU semantics in a single shard.
+	nShards := 1
+	for nShards < maxShards && opts.CacheSize/(2*nShards) >= 64 {
+		nShards *= 2
 	}
+	e := &Engine{
+		workers:  opts.Workers,
+		shards:   make([]resultShard, nShards),
+		prepared: newLRUBytes(opts.PreparedCacheSize, opts.PreparedCacheBytes),
+	}
+	per := (opts.CacheSize + nShards - 1) / nShards
+	for i := range e.shards {
+		e.shards[i] = resultShard{results: newLRU(per), inflight: make(map[string]*inflightCall)}
+	}
+	return e
+}
+
+// shardFor hashes a fingerprint onto its stripe (FNV-1a).
+func (e *Engine) shardFor(key string) *resultShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &e.shards[h&uint32(len(e.shards)-1)]
 }
 
 var defaultEngine = New(Options{})
@@ -124,16 +179,17 @@ func Default() *Engine { return defaultEngine }
 // returned Result is the caller's own copy.
 func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
 	key := Fingerprint(cfg)
-	e.mu.Lock()
-	if v, ok := e.results.get(key); ok {
-		e.mu.Unlock()
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if v, ok := sh.results.get(key); ok {
+		sh.mu.Unlock()
 		e.hits.Add(1)
 		r := v.(core.Result)
 		r.Config = cfg // caller's own spelling; no aliasing into the cache
 		return &r, nil
 	}
-	if c, ok := e.inflight[key]; ok {
-		e.mu.Unlock()
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
 		<-c.done
 		if c.err != nil {
 			return nil, c.err
@@ -144,8 +200,8 @@ func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
 		return &r, nil
 	}
 	c := &inflightCall{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.mu.Unlock()
+	sh.inflight[key] = c
+	sh.mu.Unlock()
 	e.misses.Add(1)
 
 	// Deregister and release waiters even if evaluate panics; a wedged
@@ -153,16 +209,16 @@ func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
 	var res *core.Result
 	var err error
 	defer func() {
-		e.mu.Lock()
-		delete(e.inflight, key)
+		sh.mu.Lock()
+		delete(sh.inflight, key)
 		if err == nil && res != nil {
 			c.res = *res
-			e.results.add(key, c.res)
+			sh.results.add(key, c.res)
 		} else if err == nil {
 			err = fmt.Errorf("engine: evaluation aborted (panic in model build or solve)")
 		}
 		c.err = err
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		close(c.done)
 	}()
 	res, err = e.evaluate(key, cfg)
@@ -190,19 +246,19 @@ func (e *Engine) evaluate(key string, cfg core.Config) (*core.Result, error) {
 // serialized by the in-flight map in Eval; Prepared and Survival callers
 // may rarely build a duplicate, which is correct (just not free).
 func (e *Engine) preparedFor(key string, cfg core.Config) (*core.Prepared, error) {
-	e.mu.Lock()
+	e.pmu.Lock()
 	if v, ok := e.prepared.get(key); ok {
-		e.mu.Unlock()
+		e.pmu.Unlock()
 		return v.(*core.Prepared), nil
 	}
-	e.mu.Unlock()
+	e.pmu.Unlock()
 	p, err := core.Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	e.prepared.add(key, p)
-	e.mu.Unlock()
+	e.pmu.Lock()
+	e.prepared.addSized(key, p, p.SizeBytes())
+	e.pmu.Unlock()
 	return p, nil
 }
 
@@ -242,24 +298,36 @@ func (e *Engine) AssureMission(cfg core.Config, grid []float64, missionTime floa
 
 // Stats snapshots the engine's accounting.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return Stats{
-		Hits:            e.hits.Load(),
-		Misses:          e.misses.Load(),
-		Evals:           e.evals.Load(),
-		Evictions:       e.results.evictions,
-		Entries:         e.results.len(),
-		PreparedEntries: e.prepared.len(),
+	s := Stats{
+		Hits:   e.hits.Load(),
+		Misses: e.misses.Load(),
+		Evals:  e.evals.Load(),
 	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		s.Evictions += sh.results.evictions
+		s.Entries += sh.results.len()
+		sh.mu.Unlock()
+	}
+	e.pmu.Lock()
+	s.PreparedEntries = e.prepared.len()
+	s.PreparedBytes = e.prepared.sizeBytes()
+	e.pmu.Unlock()
+	return s
 }
 
 // Reset empties both caches and zeroes the counters (test support).
 func (e *Engine) Reset() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.results.reset()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.results.reset()
+		sh.mu.Unlock()
+	}
+	e.pmu.Lock()
 	e.prepared.reset()
+	e.pmu.Unlock()
 	e.hits.Store(0)
 	e.misses.Store(0)
 	e.evals.Store(0)

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// stripeConfig returns a tiny, fast-to-evaluate configuration.
+func stripeConfig(tids float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.N = 6
+	cfg.TIDS = tids
+	return cfg
+}
+
+// TestShardScaling pins the striping policy: tiny caches keep exact global
+// LRU semantics in one shard, the default cache stripes across 16.
+func TestShardScaling(t *testing.T) {
+	if got := len(New(Options{CacheSize: 2}).shards); got != 1 {
+		t.Fatalf("CacheSize 2: %d shards, want 1", got)
+	}
+	if got := len(New(Options{}).shards); got != maxShards {
+		t.Fatalf("default CacheSize: %d shards, want %d", got, maxShards)
+	}
+}
+
+// TestStripedCacheConcurrent hammers a striped engine with concurrent
+// repeats of a small config set and checks that every result is served
+// consistently and the atomic accounting stays coherent.
+func TestStripedCacheConcurrent(t *testing.T) {
+	e := New(Options{CacheSize: 4096})
+	if len(e.shards) != maxShards {
+		t.Fatalf("want a striped engine, got %d shards", len(e.shards))
+	}
+	grid := []float64{30, 60, 120, 240, 480}
+	want := make(map[float64]float64, len(grid))
+	for _, tids := range grid {
+		r, err := e.Eval(stripeConfig(tids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[tids] = r.MTTSF
+	}
+	const workers, rounds = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				tids := grid[(seed+r)%len(grid)]
+				res, err := e.Eval(stripeConfig(tids))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.MTTSF != want[tids] {
+					t.Errorf("TIDS %v: MTTSF %v, want %v", tids, res.MTTSF, want[tids])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Evals != uint64(len(grid)) {
+		t.Fatalf("evals = %d, want %d (all repeats must hit)", st.Evals, len(grid))
+	}
+	if total := st.Hits + st.Misses; total != uint64(len(grid)+workers*rounds) {
+		t.Fatalf("lookups = %d, want %d", total, len(grid)+workers*rounds)
+	}
+}
+
+// TestPreparedByteBudget pins the byte-budgeted prepared LRU: with a
+// budget sized for one model, caching a second evicts the first even
+// though the entry cap is far from reached.
+func TestPreparedByteBudget(t *testing.T) {
+	p, err := core.Prepare(stripeConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := p.SizeBytes()
+	if size <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", size)
+	}
+
+	e := New(Options{PreparedCacheBytes: size + size/2})
+	if _, err := e.Prepared(stripeConfig(60)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.PreparedEntries != 1 || st.PreparedBytes <= 0 {
+		t.Fatalf("after first prepare: %d entries / %d bytes", st.PreparedEntries, st.PreparedBytes)
+	}
+	if _, err := e.Prepared(stripeConfig(120)); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.PreparedEntries != 1 {
+		t.Fatalf("after second prepare: %d entries, want 1 (byte budget must evict)", st.PreparedEntries)
+	}
+	if st.PreparedBytes > size+size/2 {
+		t.Fatalf("PreparedBytes %d exceeds budget %d", st.PreparedBytes, size+size/2)
+	}
+
+	// An entry larger than the whole budget is rejected outright instead
+	// of flushing the rest of the cache on its way through.
+	e3 := New(Options{PreparedCacheBytes: size / 2})
+	if _, err := e3.Prepared(stripeConfig(60)); err != nil {
+		t.Fatal(err)
+	}
+	if st := e3.Stats(); st.PreparedEntries != 0 || st.PreparedBytes != 0 {
+		t.Fatalf("oversize entry admitted: %d entries / %d bytes", st.PreparedEntries, st.PreparedBytes)
+	}
+
+	// The entry cap still applies as the secondary bound.
+	e2 := New(Options{PreparedCacheSize: 1, PreparedCacheBytes: -1})
+	if _, err := e2.Prepared(stripeConfig(60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Prepared(stripeConfig(120)); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.PreparedEntries != 1 {
+		t.Fatalf("entry cap ignored: %d entries", st.PreparedEntries)
+	}
+}

@@ -53,14 +53,11 @@ func SolveSOR(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	if len(b) != n {
 		return nil, IterResult{}, fmt.Errorf("linalg: SolveSOR rhs length %d, want %d", len(b), n)
 	}
-	// Cache the diagonal positions per row for the sweep.
-	diag := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d := a.At(i, i)
-		if d == 0 {
+	diagIdx := a.DiagIndices()
+	for i, di := range diagIdx {
+		if di < 0 || a.Val[di] == 0 {
 			return nil, IterResult{}, fmt.Errorf("linalg: SolveSOR zero diagonal at row %d", i)
 		}
-		diag[i] = d
 	}
 	x := NewVector(n)
 	if opts.X0 != nil {
@@ -76,17 +73,7 @@ func SolveSOR(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	res := NewVector(n)
 	var it int
 	for it = 1; it <= opts.MaxIter; it++ {
-		for i := 0; i < n; i++ {
-			s := b[i]
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				j := a.ColIdx[k]
-				if j != i {
-					s -= a.Val[k] * x[j]
-				}
-			}
-			xi := s / diag[i]
-			x[i] += opts.Omega * (xi - x[i])
-		}
+		sorSweep(a, diagIdx, b, x, opts.Omega)
 		// Check the true residual every few sweeps to amortize the matvec.
 		if it%4 == 0 || it == opts.MaxIter {
 			a.MulVecTo(res, x)
@@ -107,6 +94,24 @@ func SolveSOR(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	return x, IterResult{Iterations: opts.MaxIter, Residual: r}, ErrNoConvergence
 }
 
+// sorSweep performs one in-place SOR sweep over x. The inner loop indexes
+// the CSR arrays directly and skips the diagonal by its precomputed entry
+// index; it allocates nothing (pinned by TestSORSweepAllocs).
+func sorSweep(a *CSR, diagIdx []int, b, x Vector, omega float64) {
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
+	for i := 0; i < a.Rows; i++ {
+		s := b[i]
+		di := diagIdx[i]
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			if k != di {
+				s -= val[k] * x[colIdx[k]]
+			}
+		}
+		xi := s / val[di]
+		x[i] += omega * (xi - x[i])
+	}
+}
+
 // SolveJacobi solves A x = b with the Jacobi iteration. Slower than SOR but
 // embarrassingly order-independent; kept for cross-checking.
 func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
@@ -115,13 +120,11 @@ func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	if a.Cols != n || len(b) != n {
 		return nil, IterResult{}, fmt.Errorf("linalg: SolveJacobi dimension mismatch")
 	}
-	diag := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d := a.At(i, i)
-		if d == 0 {
+	diagIdx := a.DiagIndices()
+	for i, di := range diagIdx {
+		if di < 0 || a.Val[di] == 0 {
 			return nil, IterResult{}, fmt.Errorf("linalg: SolveJacobi zero diagonal at row %d", i)
 		}
-		diag[i] = d
 	}
 	x := NewVector(n)
 	if opts.X0 != nil {
@@ -133,16 +136,17 @@ func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 		bNorm = 1
 	}
 	res := NewVector(n)
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
 	for it := 1; it <= opts.MaxIter; it++ {
 		for i := 0; i < n; i++ {
 			s := b[i]
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				j := a.ColIdx[k]
-				if j != i {
-					s -= a.Val[k] * x[j]
+			di := diagIdx[i]
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				if k != di {
+					s -= val[k] * x[colIdx[k]]
 				}
 			}
-			next[i] = s / diag[i]
+			next[i] = s / val[di]
 		}
 		x, next = next, x
 		if it%8 == 0 || it == opts.MaxIter {

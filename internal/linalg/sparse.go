@@ -72,6 +72,71 @@ func (b *SparseBuilder) Build() *CSR {
 	return m
 }
 
+// NewCSRFromRows assembles a CSR directly from coordinate entries that are
+// already grouped by row: all entries of a row are contiguous and rows
+// appear in strictly increasing order (rows may be skipped). Columns within
+// a row may be in any order and may repeat; duplicates are summed and
+// entries whose sum is exactly zero are dropped, matching
+// SparseBuilder.Build. Because the reachability-graph exploration emits
+// edges grouped by source state, this skips SparseBuilder's O(nnz log nnz)
+// coordinate sort: each row is insertion-sorted in place, O(nnz · k) for
+// row width k (a small constant for generator matrices).
+func NewCSRFromRows(rows, cols int, entries []Coord) *CSR {
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+		ColIdx: make([]int, 0, len(entries)),
+		Val:    make([]float64, 0, len(entries)),
+	}
+	prevRow := -1
+	for k := 0; k < len(entries); {
+		i := entries[k].Row
+		if i <= prevRow || i >= rows {
+			panic(fmt.Sprintf("linalg: NewCSRFromRows rows not grouped ascending (row %d after %d, %d rows)", i, prevRow, rows))
+		}
+		prevRow = i
+		start := len(m.ColIdx)
+		for ; k < len(entries) && entries[k].Row == i; k++ {
+			j, v := entries[k].Col, entries[k].Val
+			if j < 0 || j >= cols {
+				panic(fmt.Sprintf("linalg: NewCSRFromRows column %d out of %d", j, cols))
+			}
+			// Insertion sort into the row segment, merging duplicates.
+			pos := len(m.ColIdx)
+			for pos > start && m.ColIdx[pos-1] > j {
+				pos--
+			}
+			if pos > start && m.ColIdx[pos-1] == j {
+				m.Val[pos-1] += v
+				continue
+			}
+			m.ColIdx = append(m.ColIdx, 0)
+			m.Val = append(m.Val, 0)
+			copy(m.ColIdx[pos+1:], m.ColIdx[pos:])
+			copy(m.Val[pos+1:], m.Val[pos:])
+			m.ColIdx[pos] = j
+			m.Val[pos] = v
+		}
+		// Compact out entries that summed to exact zero.
+		w := start
+		for r := start; r < len(m.ColIdx); r++ {
+			if m.Val[r] != 0 {
+				m.ColIdx[w] = m.ColIdx[r]
+				m.Val[w] = m.Val[r]
+				w++
+			}
+		}
+		m.ColIdx = m.ColIdx[:w]
+		m.Val = m.Val[:w]
+		m.RowPtr[i+1] = w - start
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
 // CSR is a compressed sparse row matrix.
 type CSR struct {
 	Rows, Cols int
@@ -148,15 +213,38 @@ func (m *CSR) TransposeMulVec(x Vector) Vector {
 	return y
 }
 
-// Transpose returns a new CSR holding m^T.
+// Transpose returns a new CSR holding m^T, assembled with an O(nnz)
+// counting-sort scatter: count the entries of each column, prefix-sum the
+// counts into row pointers of the transpose, then scatter each entry into
+// its slot. Scanning the source in row order leaves every transposed row
+// sorted by column.
 func (m *CSR) Transpose() *CSR {
-	b := NewSparseBuilder(m.Cols, m.Rows)
+	nnz := m.NNZ()
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int, m.Cols+1),
+		ColIdx: make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	next := make([]int, m.Cols)
+	copy(next, t.RowPtr[:m.Cols])
 	for i := 0; i < m.Rows; i++ {
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			b.Add(m.ColIdx[k], i, m.Val[k])
+			j := m.ColIdx[k]
+			p := next[j]
+			next[j]++
+			t.ColIdx[p] = i
+			t.Val[p] = m.Val[k]
 		}
 	}
-	return b.Build()
+	return t
 }
 
 // Dense expands m to a dense matrix (for tests and tiny systems).
@@ -170,14 +258,46 @@ func (m *CSR) Dense() *Dense {
 	return d
 }
 
-// Diag returns a vector of the diagonal entries of a square CSR.
+// Diag returns a vector of the diagonal entries of a square CSR. One
+// linear scan over the stored entries (rows are column-sorted, so the scan
+// stops at the first entry past the diagonal).
 func (m *CSR) Diag() Vector {
 	if m.Rows != m.Cols {
 		panic("linalg: Diag requires a square matrix")
 	}
 	d := NewVector(m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		d[i] = m.At(i, i)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if j := m.ColIdx[k]; j >= i {
+				if j == i {
+					d[i] = m.Val[k]
+				}
+				break
+			}
+		}
+	}
+	return d
+}
+
+// DiagIndices returns, for each row of a square CSR, the index into
+// Val/ColIdx of the stored diagonal entry, or -1 when the row stores none.
+// Linear in NNZ; the iterative solvers use it to address diagonals without
+// per-row binary searches.
+func (m *CSR) DiagIndices() []int {
+	if m.Rows != m.Cols {
+		panic("linalg: DiagIndices requires a square matrix")
+	}
+	d := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		d[i] = -1
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if j := m.ColIdx[k]; j >= i {
+				if j == i {
+					d[i] = k
+				}
+				break
+			}
+		}
 	}
 	return d
 }

@@ -14,6 +14,7 @@ package spn
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -27,18 +28,18 @@ func (m Marking) Clone() Marking {
 	return c
 }
 
-// Key returns a compact comparable encoding of the marking, suitable for
-// map keys during state-space exploration.
+// Key returns a compact comparable encoding of the marking. Exploration no
+// longer uses string keys (see intern.go); Key remains for debugging and
+// for cross-checking the interned index against a reference implementation.
 func (m Marking) Key() string {
-	var sb strings.Builder
-	sb.Grow(len(m) * 3)
+	buf := make([]byte, 0, len(m)*3)
 	for i, v := range m {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&sb, "%d", v)
+		buf = strconv.AppendInt(buf, int64(v), 10)
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // Total returns the total number of tokens in the marking.
@@ -170,17 +171,17 @@ func (n *Net) enabled(t *Transition, m Marking) (float64, bool) {
 	return r, true
 }
 
-// fire returns the successor marking of firing t in m. The caller must have
+// fireInto writes the successor marking of firing t in m into dst (a
+// scratch marking the exploration loop reuses). The caller must have
 // verified enabledness.
-func fire(t *Transition, m Marking) Marking {
-	next := m.Clone()
+func fireInto(dst Marking, t *Transition, m Marking) {
+	copy(dst, m)
 	for _, a := range t.Inputs {
-		next[a.Place] -= a.Weight
+		dst[a.Place] -= a.Weight
 	}
 	for _, a := range t.Outputs {
-		next[a.Place] += a.Weight
+		dst[a.Place] += a.Weight
 	}
-	return next
 }
 
 // Edge is one outgoing stochastic transition of a reachability-graph state.
@@ -191,25 +192,36 @@ type Edge struct {
 }
 
 // Graph is the reachability graph of a bounded SPN: the state space of the
-// underlying CTMC.
+// underlying CTMC. States are interned markings (stable subslices of a
+// chunked arena) and every state's edge slice is a window into one shared
+// edge arena, grouped by source state in index order — consumers that
+// assemble matrices from the graph (ctmc.FromGraph) rely on that grouping
+// to skip coordinate sorting.
 type Graph struct {
 	Net      *Net
 	States   []Marking
-	Index    map[string]int
 	Edges    [][]Edge
 	Initial  int
 	PlaceIdx map[string]int
+
+	table  *markingTable // marking -> state index, kept for StateIndex
+	nEdges int
 }
 
 // ExploreOpts bounds state-space generation.
 type ExploreOpts struct {
-	// MaxStates aborts exploration when exceeded (default 2_000_000).
+	// MaxStates aborts exploration before more than this many states are
+	// materialized (default 2_000_000).
 	MaxStates int
+	// ExpectedStates pre-sizes the state and edge storage (optional hint).
+	ExpectedStates int
 }
 
 // Explore generates the reachability graph from the initial marking using
 // breadth-first search. It returns an error when the state space exceeds
-// opts.MaxStates, which usually indicates an unbounded or mis-specified net.
+// opts.MaxStates, which usually indicates an unbounded or mis-specified
+// net; the bound is checked before each insertion, so no more than
+// MaxStates states are ever materialized.
 func (n *Net) Explore(initial Marking, opts ExploreOpts) (*Graph, error) {
 	if len(initial) != len(n.placeNames) {
 		return nil, fmt.Errorf("spn: initial marking has %d places, net has %d", len(initial), len(n.placeNames))
@@ -223,26 +235,48 @@ func (n *Net) Explore(initial Marking, opts ExploreOpts) (*Graph, error) {
 	if maxStates == 0 {
 		maxStates = 2_000_000
 	}
+	hint := opts.ExpectedStates
+	if hint <= 0 {
+		hint = 1024
+	}
+	places := len(n.placeNames)
 	g := &Graph{
 		Net:      n,
-		Index:    make(map[string]int),
+		States:   make([]Marking, 0, hint),
 		PlaceIdx: make(map[string]int, len(n.placeIdx)),
+		table:    newMarkingTable(places, hint),
 	}
 	for name, i := range n.placeIdx {
 		g.PlaceIdx[name] = i
 	}
-	add := func(m Marking) int {
-		k := m.Key()
-		if i, ok := g.Index[k]; ok {
-			return i
+	arena := newMarkingArena(places)
+
+	// add interns m (unless already present) and returns its state index;
+	// it fails when a new state would exceed the exploration bound.
+	add := func(m Marking) (int, error) {
+		k := g.table.key(m, g.States)
+		if i, ok := g.table.find(k, m, g.States); ok {
+			return i, nil
+		}
+		if len(g.States) >= maxStates {
+			return 0, fmt.Errorf("spn: state space exceeded %d states", maxStates)
 		}
 		i := len(g.States)
-		g.States = append(g.States, m)
-		g.Edges = append(g.Edges, nil)
-		g.Index[k] = i
-		return i
+		g.States = append(g.States, arena.intern(m))
+		g.table.insert(k, i)
+		return i, nil
 	}
-	g.Initial = add(initial.Clone())
+
+	var err error
+	if g.Initial, err = add(initial); err != nil {
+		return nil, err
+	}
+	// Edges accumulate in one flat arena; rowStart[i] is the offset of
+	// state i's first edge. BFS processes states in index order, so each
+	// state's edges are contiguous.
+	flat := make([]Edge, 0, 4*hint)
+	rowStart := make([]int, 1, hint+1)
+	scratch := make(Marking, places)
 	for head := 0; head < len(g.States); head++ {
 		m := g.States[head]
 		for ti, t := range n.trans {
@@ -250,19 +284,37 @@ func (n *Net) Explore(initial Marking, opts ExploreOpts) (*Graph, error) {
 			if !ok {
 				continue
 			}
-			next := fire(t, m)
-			to := add(next)
-			if len(g.States) > maxStates {
-				return nil, fmt.Errorf("spn: state space exceeded %d states", maxStates)
+			fireInto(scratch, t, m)
+			to, err := add(scratch)
+			if err != nil {
+				return nil, err
 			}
-			g.Edges[head] = append(g.Edges[head], Edge{To: to, Rate: rate, Transition: ti})
+			flat = append(flat, Edge{To: to, Rate: rate, Transition: ti})
 		}
+		rowStart = append(rowStart, len(flat))
+	}
+	g.nEdges = len(flat)
+	g.Edges = make([][]Edge, len(g.States))
+	for i := range g.Edges {
+		g.Edges[i] = flat[rowStart[i]:rowStart[i+1]:rowStart[i+1]]
 	}
 	return g, nil
 }
 
 // NumStates returns the number of reachable states.
 func (g *Graph) NumStates() int { return len(g.States) }
+
+// NumEdges returns the total number of reachability-graph edges.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// StateIndex returns the index of the state with the given marking, if it
+// is reachable. Allocation-free.
+func (g *Graph) StateIndex(m Marking) (int, bool) {
+	if g.table == nil || len(m) != len(g.Net.placeNames) {
+		return 0, false
+	}
+	return g.table.lookup(m, g.States)
+}
 
 // IsAbsorbing reports whether state i has no outgoing edges.
 func (g *Graph) IsAbsorbing(i int) bool { return len(g.Edges[i]) == 0 }
