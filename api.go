@@ -53,6 +53,10 @@ type Result = core.Result
 // SweepPoint pairs a TIDS value with its evaluation.
 type SweepPoint = core.SweepPoint
 
+// SweepOpts selects how grid sweeps evaluate their points (warm-start
+// chaining of neighbouring solves vs cold batch fan-out).
+type SweepOpts = core.SweepOpts
+
 // Optimum is the best point of a sweep plus the full curve.
 type Optimum = core.Optimum
 
@@ -147,6 +151,14 @@ func SweepTIDS(cfg Config, grid []float64) ([]SweepPoint, error) {
 	return core.SweepTIDS(cfg, grid)
 }
 
+// SweepTIDSOpts is SweepTIDS with explicit sweep options; with WarmStart
+// set, each grid point's transient solve starts from the previous point's
+// sojourn vector (the TIDS grid shares one state space), cutting solver
+// iterations substantially at identical 1e-12 accuracy.
+func SweepTIDSOpts(cfg Config, grid []float64, opts SweepOpts) ([]SweepPoint, error) {
+	return core.SweepTIDSOpts(cfg, grid, opts)
+}
+
 // OptimalTIDSForMTTSF finds the grid point maximizing MTTSF.
 func OptimalTIDSForMTTSF(cfg Config, grid []float64) (*Optimum, error) {
 	return core.OptimalTIDSForMTTSF(cfg, grid)
@@ -197,6 +209,19 @@ func DefaultDesignSpace() DesignSpace { return core.DefaultDesignSpace() }
 // metric or vice versa".
 func TradeoffFrontier(cfg Config, space DesignSpace) ([]DesignPoint, error) {
 	return core.TradeoffFrontier(cfg, space)
+}
+
+// ExploreDesignSpace evaluates every point of the design space (sorted by
+// ascending Ĉtotal), without the frontier filter.
+func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
+	return core.ExploreDesignSpace(cfg, space)
+}
+
+// ExploreDesignSpaceOpts is ExploreDesignSpace with sweep options: with
+// WarmStart set it runs one warm-start solve chain per (m, detection) pair
+// along the TIDS axis.
+func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]DesignPoint, error) {
+	return core.ExploreDesignSpaceOpts(cfg, space, opts)
 }
 
 // --- Mission survivability (time-to-failure distribution) ---

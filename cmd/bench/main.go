@@ -9,10 +9,14 @@
 // Usage:
 //
 //	bench [-preset small|full] [-rev name] [-o file] [-baseline file]
+//	      [-par n] [-gate factor] [-allow workload,...]
 //
 // The small preset (N = 30, 60) finishes in well under a minute and is what
 // CI runs; the full preset adds the paper's N = 100. With -baseline the
-// harness prints a per-workload speedup table against an earlier run.
+// harness prints a per-workload speedup table against an earlier run; with
+// -gate it additionally exits nonzero when any workload regressed by more
+// than the given factor (CI's soft perf gate; -allow exempts workloads).
+// -rev defaults to the short git revision of the working tree.
 package main
 
 import (
@@ -20,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,21 +58,48 @@ type Result struct {
 	SolveItersPerOp uint64 `json:"solve_iters_per_op,omitempty"`
 }
 
+// FingerprintCheck records a parallel-vs-sequential exploration identity
+// check: the graph fingerprint at worker count P must equal the sequential
+// one for the parallel explorer to be trusted.
+type FingerprintCheck struct {
+	N           int    `json:"n"`
+	Parallelism int    `json:"parallelism"`
+	Fingerprint string `json:"fingerprint"`
+	Equal       bool   `json:"equal_sequential"`
+}
+
 // File is the BENCH_<rev>.json document.
 type File struct {
-	Revision   string   `json:"revision"`
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Preset     string   `json:"preset"`
-	Workloads  []Result `json:"workloads"`
+	Revision     string             `json:"revision"`
+	Date         string             `json:"date"`
+	GoVersion    string             `json:"go_version"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Preset       string             `json:"preset"`
+	Workloads    []Result           `json:"workloads"`
+	Fingerprints []FingerprintCheck `json:"explore_fingerprints,omitempty"`
+}
+
+// gitRev returns the working tree's short revision, or "dev" outside a git
+// checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "dev"
 }
 
 func main() {
 	preset := flag.String("preset", "small", "workload sizes: small (N=30,60) or full (adds N=100)")
-	rev := flag.String("rev", "dev", "revision label used in the default output name")
+	rev := flag.String("rev", "", "revision label used in the default output name (default: git short rev)")
 	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
 	baseline := flag.String("baseline", "", "optional earlier BENCH_*.json to print speedups against")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "exploration worker shards for the parallel workloads")
+	gate := flag.Float64("gate", 0, "fail when a workload is slower than baseline by more than this factor (0 disables)")
+	allow := flag.String("allow", "", "comma-separated workload names exempt from the -gate check")
 	flag.Parse()
 
 	var ns []int
@@ -78,6 +111,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown preset %q\n", *preset)
 		os.Exit(2)
+	}
+	if *rev == "" {
+		*rev = gitRev()
 	}
 	path := *out
 	if path == "" {
@@ -92,7 +128,8 @@ func main() {
 		Preset:     *preset,
 	}
 	for _, n := range ns {
-		f.Workloads = append(f.Workloads, kernelWorkloads(n)...)
+		f.Workloads = append(f.Workloads, kernelWorkloads(n, *par)...)
+		f.Fingerprints = append(f.Fingerprints, fingerprintChecks(n, *par)...)
 	}
 	sweepN := ns[len(ns)-1]
 	f.Workloads = append(f.Workloads, sweepWorkloads(sweepN)...)
@@ -110,12 +147,73 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d workloads)\n", path, len(f.Workloads))
 
-	if *baseline != "" {
-		if err := printComparison(*baseline, f); err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
+	// Fail after writing, so a mismatch leaves its evidence (the per-P
+	// fingerprint records) in the JSON.
+	for _, fp := range f.Fingerprints {
+		if !fp.Equal {
+			fmt.Fprintf(os.Stderr, "bench: parallel exploration at N=%d P=%d is NOT bit-identical to sequential\n", fp.N, fp.Parallelism)
 			os.Exit(1)
 		}
 	}
+
+	if *baseline != "" {
+		regressed, err := printComparison(*baseline, f, *gate, allowSet(*allow))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: regression gate (>%gx) tripped by: %s\n", *gate, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
+	}
+}
+
+// allowSet parses the -allow list.
+func allowSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[name] = true
+		}
+	}
+	return set
+}
+
+// fingerprintChecks explores the size-n model sequentially and at P in
+// {2,4,8} plus the -par worker count the timing workloads actually run
+// at, recording whether each parallel graph is bit-identical. (P=1 takes
+// the sequential path, so checking it would prove nothing.)
+func fingerprintChecks(n, par int) []FingerprintCheck {
+	explore := func(p int) *spn.Graph {
+		cfg := core.DefaultConfig()
+		cfg.N = n
+		cfg.Parallelism = p
+		m, err := core.BuildModel(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := m.Explore()
+		if err != nil {
+			fatal(err)
+		}
+		return g
+	}
+	seq := explore(0).Fingerprint()
+	ps := []int{2, 4, 8}
+	if par > 1 && par != 2 && par != 4 && par != 8 {
+		ps = append(ps, par)
+	}
+	var out []FingerprintCheck
+	for _, p := range ps {
+		fp := explore(p).Fingerprint()
+		out = append(out, FingerprintCheck{
+			N: n, Parallelism: p,
+			Fingerprint: fmt.Sprintf("%016x", fp),
+			Equal:       fp == seq,
+		})
+	}
+	return out
 }
 
 // mustPrepare builds the model and reachability graph for size n.
@@ -134,9 +232,9 @@ func mustPrepare(n int) (*core.Model, *spn.Graph) {
 }
 
 // kernelWorkloads measures the building blocks of one evaluation at size n:
-// cold exploration across the TIDS grid, generator assembly, generator
-// transposition, and the transient solve.
-func kernelWorkloads(n int) []Result {
+// cold exploration across the TIDS grid (parallel and sequential),
+// generator assembly, generator transposition, and the transient solve.
+func kernelWorkloads(n, par int) []Result {
 	cfg := core.DefaultConfig()
 	cfg.N = n
 	_, g := mustPrepare(n)
@@ -144,29 +242,39 @@ func kernelWorkloads(n int) []Result {
 
 	// explore_sweep: a cold-cache reachability sweep over the paper's TIDS
 	// grid — state-space generation is all it does, so it is the
-	// Explore-dominated workload the perf trajectory tracks.
+	// Explore-dominated workload the perf trajectory tracks. Since PR 3 it
+	// runs the sharded-frontier explorer at -par workers (the production
+	// setting for cold sweeps); explore_seq keeps the sequential number
+	// comparable across revisions.
 	states := 0
-	exploreSweep := func() {
-		states = 0
-		for _, tids := range core.PaperTIDSGrid {
-			c := cfg
-			c.TIDS = tids
-			m, err := core.BuildModel(c)
-			if err != nil {
-				fatal(err)
+	exploreGrid := func(parallelism int) func() {
+		return func() {
+			states = 0
+			for _, tids := range core.PaperTIDSGrid {
+				c := cfg
+				c.TIDS = tids
+				c.Parallelism = parallelism
+				m, err := core.BuildModel(c)
+				if err != nil {
+					fatal(err)
+				}
+				gg, err := m.Explore()
+				if err != nil {
+					fatal(err)
+				}
+				states += gg.NumStates()
 			}
-			gg, err := m.Explore()
-			if err != nil {
-				fatal(err)
-			}
-			states += gg.NumStates()
 		}
 	}
-	rExplore := measure("explore_sweep", n, exploreSweep)
-	rExplore.States = states
-	if rExplore.NsPerOp > 0 {
-		rExplore.StatesPerSec = float64(states) / (float64(rExplore.NsPerOp) * 1e-9)
+	throughput := func(r Result) Result {
+		r.States = states
+		if r.NsPerOp > 0 {
+			r.StatesPerSec = float64(states) / (float64(r.NsPerOp) * 1e-9)
+		}
+		return r
 	}
+	rExplore := throughput(measure("explore_sweep", n, exploreGrid(par)))
+	rExploreSeq := throughput(measure("explore_seq", n, exploreGrid(0)))
 
 	rAssemble := measure("assemble_generator", n, func() { ctmc.FromGraph(g) })
 	rAssemble.States = g.NumStates()
@@ -177,33 +285,49 @@ func kernelWorkloads(n int) []Result {
 	// solve: the transient sojourn solve on a prebuilt chain — the solver
 	// kernel (SOR cascade) plus whatever per-solve assembly the chain
 	// still performs.
-	solves0, iters0 := ctmc.SolveCount(), ctmc.SolveIterations()
-	ops := 0
-	rSolve := measure("solve_sojourn", n, func() {
-		ops++
+	rSolve := measureSolves("solve_sojourn", n, func() {
 		if _, err := chain.Solve(g.Initial); err != nil {
 			fatal(err)
 		}
 	})
 	rSolve.States = g.NumStates()
+	return []Result{rExplore, rExploreSeq, rAssemble, rTranspose, rSolve}
+}
+
+// measureSolves wraps measure and annotates the result with per-op solve
+// and solver-iteration counts.
+func measureSolves(name string, n int, fn func()) Result {
+	solves0, iters0 := ctmc.SolveCount(), ctmc.SolveIterations()
+	ops := 0
+	r := measure(name, n, func() {
+		ops++
+		fn()
+	})
 	if ops > 0 {
-		rSolve.SolvesPerOp = (ctmc.SolveCount() - solves0) / uint64(ops)
-		rSolve.SolveItersPerOp = (ctmc.SolveIterations() - iters0) / uint64(ops)
+		r.SolvesPerOp = (ctmc.SolveCount() - solves0) / uint64(ops)
+		r.SolveItersPerOp = (ctmc.SolveIterations() - iters0) / uint64(ops)
 	}
-	return []Result{rExplore, rAssemble, rTranspose, rSolve}
+	return r
 }
 
 // sweepWorkloads measures the full evaluation pipeline over the paper's
-// TIDS grid at size n: once through the memoization-free Direct path (every
-// point pays the complete cold miss) and once through a fresh memoizing
-// engine per op.
+// TIDS grid at size n: through the memoization-free Direct path (every
+// point pays the complete cold miss), through the same path with
+// warm-start chaining (sweep_warm — compare its solve_iters_per_op against
+// sweep_cold's for the warm-start reduction), and through a fresh
+// memoizing engine per op.
 func sweepWorkloads(n int) []Result {
 	cfg := core.DefaultConfig()
 	cfg.N = n
 
 	prev := core.SetDefaultEvaluator(core.Direct{})
-	rCold := measure("sweep_cold", n, func() {
+	rCold := measureSolves("sweep_cold", n, func() {
 		if _, err := core.SweepTIDS(cfg, core.PaperTIDSGrid); err != nil {
+			fatal(err)
+		}
+	})
+	rWarm := measureSolves("sweep_warm", n, func() {
+		if _, err := core.SweepTIDSOpts(cfg, core.PaperTIDSGrid, core.SweepOpts{WarmStart: true}); err != nil {
 			fatal(err)
 		}
 	})
@@ -218,7 +342,7 @@ func sweepWorkloads(n int) []Result {
 		}
 		core.SetDefaultEvaluator(prev)
 	})
-	return []Result{rCold, rEngine}
+	return []Result{rCold, rWarm, rEngine}
 }
 
 // frontierWorkload measures the design-space Pareto frontier (the paper's
@@ -259,15 +383,17 @@ func measure(name string, n int, fn func()) Result {
 }
 
 // printComparison renders per-workload speedups of cur against the run
-// stored at path, matching workloads by (name, N).
-func printComparison(path string, cur File) error {
+// stored at path, matching workloads by (name, N). With gate > 0 it
+// returns the names of workloads that regressed (slowed down) by more than
+// the gate factor and are not allow-listed.
+func printComparison(path string, cur File, gate float64, allow map[string]bool) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var base File
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parsing %s: %w", path, err)
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	type key struct {
 		name string
@@ -277,21 +403,56 @@ func printComparison(path string, cur File) error {
 	for _, w := range base.Workloads {
 		old[key{w.Name, w.N}] = w
 	}
+	var regressed []string
 	fmt.Printf("\nvs %s (%s):\n", base.Revision, path)
 	fmt.Printf("%-20s %-5s %10s %10s %12s %12s\n", "workload", "N", "speedup", "allocs", "ns/op old", "ns/op new")
+	seen := make(map[key]bool, len(cur.Workloads))
 	for _, w := range cur.Workloads {
+		seen[key{w.Name, w.N}] = true
 		o, ok := old[key{w.Name, w.N}]
-		if !ok || w.NsPerOp == 0 {
+		if !ok {
+			// Visible, so a preset/baseline mismatch cannot silently
+			// exempt a workload from the gate.
+			fmt.Printf("%-20s %-5d        (no baseline entry)\n", w.Name, w.N)
 			continue
 		}
+		if w.NsPerOp == 0 {
+			// A degenerate measurement is a coverage loss, not a pass.
+			fmt.Printf("%-20s %-5d        (unmeasured this run)\n", w.Name, w.N)
+			if gate > 0 && !allow[w.Name] {
+				regressed = append(regressed, fmt.Sprintf("%s/N=%d (unmeasured)", w.Name, w.N))
+			}
+			continue
+		}
+		speedup := float64(o.NsPerOp) / float64(w.NsPerOp)
 		allocs := "n/a"
 		if o.AllocsPerOp > 0 {
 			allocs = fmt.Sprintf("%.2fx", float64(o.AllocsPerOp)/float64(max(w.AllocsPerOp, 1)))
 		}
-		fmt.Printf("%-20s %-5d %9.2fx %10s %12d %12d\n",
-			w.Name, w.N, float64(o.NsPerOp)/float64(w.NsPerOp), allocs, o.NsPerOp, w.NsPerOp)
+		mark := ""
+		if gate > 0 && speedup < 1/gate {
+			if allow[w.Name] {
+				mark = "  (regressed, allow-listed)"
+			} else {
+				mark = "  REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s/N=%d (%.2fx)", w.Name, w.N, speedup))
+			}
+		}
+		fmt.Printf("%-20s %-5d %9.2fx %10s %12d %12d%s\n",
+			w.Name, w.N, speedup, allocs, o.NsPerOp, w.NsPerOp, mark)
 	}
-	return nil
+	if gate > 0 {
+		// A baseline workload this run no longer measures is a coverage
+		// loss, not a pass: trip the gate until the baseline is
+		// regenerated alongside the workload change.
+		for _, w := range base.Workloads {
+			if !seen[key{w.Name, w.N}] && !allow[w.Name] {
+				fmt.Printf("%-20s %-5d        (missing from this run)  REGRESSED\n", w.Name, w.N)
+				regressed = append(regressed, fmt.Sprintf("%s/N=%d (missing)", w.Name, w.N))
+			}
+		}
+	}
+	return regressed, nil
 }
 
 func fatal(err error) {

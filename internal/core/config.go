@@ -90,6 +90,15 @@ type Config struct {
 	ExplicitEviction bool
 	// MaxStates bounds reachability exploration (default 2,000,000).
 	MaxStates int
+	// Parallelism sets the number of sharded-frontier worker goroutines
+	// used for reachability exploration (0 or 1 = sequential). It is an
+	// execution policy, not a model parameter: the reachability graph —
+	// and therefore every metric — is byte-identical for every value, so
+	// the evaluation engine excludes it from Config fingerprints and
+	// configurations differing only here share cache entries. Model
+	// exploration builds one model replica per extra worker so the rate
+	// memos stay unsynchronized on the hot path.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's Section 5 parameterization: N=100
@@ -156,6 +165,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MeanHops = %v, need >= 1", c.MeanHops)
 	case c.ShapeP <= 1:
 		return fmt.Errorf("core: ShapeP = %v, need > 1", c.ShapeP)
+	case c.Parallelism < 0:
+		return fmt.Errorf("core: Parallelism = %d, need >= 0", c.Parallelism)
 	}
 	if c.Cost != nil {
 		if err := c.Cost.Validate(); err != nil {

@@ -23,6 +23,25 @@ type Evaluator interface {
 	EvalBatch(cfgs []Config) ([]*Result, error)
 }
 
+// PreparedEvaluator is the optional extension warm-start sweeps need: an
+// Evaluator that can hand out the fully built (and possibly cached)
+// evaluation state for a configuration, so the sweep driver can thread the
+// previous grid point's solution into the next solve. Both Direct and the
+// memoizing engine implement it.
+type PreparedEvaluator interface {
+	Evaluator
+	// Prepared returns the built model/graph/chain for cfg, without
+	// forcing the solve.
+	Prepared(cfg Config) (*Prepared, error)
+	// EvalWith evaluates cfg, calling prepare for the built (and
+	// typically warm-solved) evaluation state only when no recorded
+	// Result exists: the memoizing engine serves repeats straight from
+	// its result cache — skipping the rebuild and solve entirely — and
+	// records fresh points so later Evals hit. The returned Result is
+	// the caller's own copy.
+	EvalWith(cfg Config, prepare func() (*Prepared, error)) (*Result, error)
+}
+
 // defaultEvaluator is the Evaluator used by SweepTIDS, ExploreDesignSpace,
 // and the other grid drivers in this package.
 var defaultEvaluator atomic.Value // of evaluatorBox
@@ -59,23 +78,62 @@ type Direct struct {
 // Eval implements Evaluator.
 func (d Direct) Eval(cfg Config) (*Result, error) { return Analyze(cfg) }
 
+// Prepared implements PreparedEvaluator: a fresh build every call.
+func (d Direct) Prepared(cfg Config) (*Prepared, error) { return Prepare(cfg) }
+
+// EvalWith implements PreparedEvaluator: Direct records nothing, so it
+// always prepares and derives the Result from the (memoized) solve.
+func (d Direct) EvalWith(cfg Config, prepare func() (*Prepared, error)) (*Result, error) {
+	p, err := prepare()
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	r := *res
+	r.Config = cfg
+	return &r, nil
+}
+
+// WorkerBound reports the evaluator's batch-parallelism cap (0 means
+// GOMAXPROCS), so drivers that fan work out themselves — the warm-start
+// design-space chains — can honor the same bound EvalBatch does.
+func (d Direct) WorkerBound() int { return d.Workers }
+
+// workerBounded is implemented by evaluators that cap their batch
+// parallelism; both Direct and the memoizing engine do.
+type workerBounded interface {
+	WorkerBound() int
+}
+
+// evaluatorWorkers returns the worker bound of the installed default
+// evaluator, falling back to GOMAXPROCS.
+func evaluatorWorkers() int {
+	if wb, ok := DefaultEvaluator().(workerBounded); ok {
+		if w := wb.WorkerBound(); w > 0 {
+			return w
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // EvalBatch implements Evaluator.
 func (d Direct) EvalBatch(cfgs []Config) ([]*Result, error) {
 	return RunBatch(cfgs, d.Workers, d.Eval)
 }
 
-// RunBatch fans eval over cfgs with at most workers concurrent
-// evaluations (0 means GOMAXPROCS), preserving order and joining per-point
-// errors. It is the shared pool both Direct and the memoizing engine use.
-func RunBatch(cfgs []Config, workers int, eval func(Config) (*Result, error)) ([]*Result, error) {
+// forEachIndexed runs fn(i) for every i in [0, n) over at most workers
+// goroutines (0 means GOMAXPROCS) — the one bounded indexed fan-out every
+// batch driver in this package shares.
+func forEachIndexed(n, workers int, fn func(int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+	if workers > n {
+		workers = n
 	}
-	results := make([]*Result, len(cfgs))
-	errs := make([]error, len(cfgs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -84,14 +142,25 @@ func RunBatch(cfgs []Config, workers int, eval func(Config) (*Result, error)) ([
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(cfgs) {
+				if i >= n {
 					return
 				}
-				results[i], errs[i] = eval(cfgs[i])
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// RunBatch fans eval over cfgs with at most workers concurrent
+// evaluations (0 means GOMAXPROCS), preserving order and joining per-point
+// errors. It is the shared pool both Direct and the memoizing engine use.
+func RunBatch(cfgs []Config, workers int, eval func(Config) (*Result, error)) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	forEachIndexed(len(cfgs), workers, func(i int) {
+		results[i], errs[i] = eval(cfgs[i])
+	})
 	var joined error
 	for i, err := range errs {
 		if err != nil {

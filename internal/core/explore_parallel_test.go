@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/shapes"
+	"repro/internal/spn"
+)
+
+// parallelGrid is the PR 2 parameter grid the sequential-vs-reference
+// isomorphism test runs on (explore_equiv_test.go); the parallel property
+// test reuses it so both exploration paths are pinned over the same models.
+func parallelGrid() []struct {
+	name string
+	cfg  Config
+} {
+	var grid []struct {
+		name string
+		cfg  Config
+	}
+	for _, n := range []int{6, 11, 16} {
+		for _, mg := range []int{1, 3} {
+			for _, det := range []shapes.Kind{shapes.Linear, shapes.Polynomial} {
+				for _, explicit := range []bool{false, true} {
+					cfg := DefaultConfig()
+					cfg.N = n
+					cfg.MaxGroups = mg
+					cfg.Detection = det
+					cfg.ExplicitEviction = explicit
+					grid = append(grid, struct {
+						name string
+						cfg  Config
+					}{fmt.Sprintf("N%d_g%d_%v_ev%v", n, mg, det, explicit), cfg})
+				}
+			}
+		}
+	}
+	ch := DefaultConfig()
+	ch.N = 11
+	ch.Protocol = ProtocolClusterHead
+	grid = append(grid, struct {
+		name string
+		cfg  Config
+	}{"clusterhead_N11", ch})
+	return grid
+}
+
+// exploreAt builds the model for cfg with the given exploration
+// parallelism and returns its reachability graph.
+func exploreAt(t *testing.T, cfg Config, parallelism int) *spn.Graph {
+	t.Helper()
+	cfg.Parallelism = parallelism
+	model, err := BuildModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExploreParallelMatchesSequential is the tentpole determinism
+// property: for every model of the PR 2 parameter grid and every worker
+// count P in {1, 2, 4, 8}, the sharded-frontier explorer must yield the
+// SAME state numbering, the same edge arena, and the same graph
+// fingerprint as the sequential explorer — not merely an isomorphic graph.
+// Downstream CSR assembly, absorption classification, and solution vectors
+// are then byte-identical, which is what lets the engine fingerprint treat
+// Parallelism as a pure execution policy.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	for _, v := range parallelGrid() {
+		t.Run(v.name, func(t *testing.T) {
+			seq := exploreAt(t, v.cfg, 0)
+			seqFp := seq.Fingerprint()
+			for _, p := range []int{1, 2, 4, 8} {
+				got := exploreAt(t, v.cfg, p)
+				if got.NumStates() != seq.NumStates() {
+					t.Fatalf("P=%d: %d states, sequential %d", p, got.NumStates(), seq.NumStates())
+				}
+				if got.NumEdges() != seq.NumEdges() {
+					t.Fatalf("P=%d: %d edges, sequential %d", p, got.NumEdges(), seq.NumEdges())
+				}
+				if got.Initial != seq.Initial {
+					t.Fatalf("P=%d: initial %d, sequential %d", p, got.Initial, seq.Initial)
+				}
+				for i := range seq.States {
+					if seq.States[i].Key() != got.States[i].Key() {
+						t.Fatalf("P=%d: state %d is %s, sequential %s", p, i, got.States[i].Key(), seq.States[i].Key())
+					}
+					if len(seq.Edges[i]) != len(got.Edges[i]) {
+						t.Fatalf("P=%d: state %d has %d edges, sequential %d", p, i, len(got.Edges[i]), len(seq.Edges[i]))
+					}
+					for j, e := range seq.Edges[i] {
+						if got.Edges[i][j] != e {
+							t.Fatalf("P=%d: state %d edge %d is %+v, sequential %+v", p, i, j, got.Edges[i][j], e)
+						}
+					}
+				}
+				if fp := got.Fingerprint(); fp != seqFp {
+					t.Fatalf("P=%d: fingerprint %#x, sequential %#x", p, fp, seqFp)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEvaluationEquivalence runs the full metric pipeline through
+// parallel exploration and asserts the Results are identical to the
+// sequential ones: same graph => same CTMC => same single solve.
+func TestParallelEvaluationEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 16
+	seqRes, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	parRes, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.MTTSF != parRes.MTTSF {
+		t.Errorf("MTTSF %v (parallel) != %v (sequential)", parRes.MTTSF, seqRes.MTTSF)
+	}
+	if seqRes.Ctotal != parRes.Ctotal {
+		t.Errorf("Ctotal %v (parallel) != %v (sequential)", parRes.Ctotal, seqRes.Ctotal)
+	}
+}

@@ -87,6 +87,60 @@ func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
 	return points, nil
 }
 
+// ExploreDesignSpaceOpts is ExploreDesignSpace with sweep options. With
+// WarmStart set, the driver runs one warm-start chain per (m, detection)
+// pair — within a chain only TIDS varies, so every point's state space has
+// identical structure and numbering and each solve starts from its grid
+// neighbour's sojourn vector. The independent chains fan out over a
+// bounded worker pool. Output is sorted by ascending Ĉtotal like
+// ExploreDesignSpace.
+func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]DesignPoint, error) {
+	if space.size() == 0 {
+		return nil, fmt.Errorf("core: empty design space")
+	}
+	if _, ok := DefaultEvaluator().(PreparedEvaluator); !opts.WarmStart || !ok {
+		// Without a warm-capable evaluator each chain would fall back to
+		// a batch-parallel cold sweep of its own; one bounded cold batch
+		// over the whole grid is the equivalent without the W^2 fan-out.
+		return ExploreDesignSpace(cfg, space)
+	}
+	// Only the points within one chain need sequencing; the chains
+	// themselves are independent and fan out over a bounded pool, so the
+	// warm path keeps the cold path's cross-pair parallelism.
+	type pair struct {
+		m int
+		k shapes.Kind
+	}
+	pairs := make([]pair, 0, len(space.Ms)*len(space.Detections))
+	for _, m := range space.Ms {
+		for _, k := range space.Detections {
+			pairs = append(pairs, pair{m, k})
+		}
+	}
+	chains := make([][]SweepPoint, len(pairs))
+	errs := make([]error, len(pairs))
+	forEachIndexed(len(pairs), evaluatorWorkers(), func(i int) {
+		c := cfg
+		c.M = pairs[i].m
+		c.Detection = pairs[i].k
+		chains[i], errs[i] = SweepTIDSOpts(c, space.TIDSGrid, opts)
+	})
+	points := make([]DesignPoint, 0, space.size())
+	for i, p := range pairs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: design space (m=%d, detection=%v): %w", p.m, p.k, errs[i])
+		}
+		for _, sp := range chains[i] {
+			points = append(points, DesignPoint{
+				M: p.m, TIDS: sp.TIDS, Detection: p.k,
+				MTTSF: sp.Result.MTTSF, Ctotal: sp.Result.Ctotal,
+			})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a].Ctotal < points[b].Ctotal })
+	return points, nil
+}
+
 // ParetoFrontier filters a design-point set down to its non-dominated
 // members, sorted by ascending Ĉtotal (and therefore ascending MTTSF: on
 // the frontier, paying more traffic must buy more survival).

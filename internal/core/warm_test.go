@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/shapes"
+)
+
+// sweepIters runs fn and returns the transient-solver iterations it spent.
+func sweepIters(t *testing.T, fn func() ([]SweepPoint, error)) ([]SweepPoint, uint64) {
+	t.Helper()
+	before := ctmc.SolveIterations()
+	points, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points, ctmc.SolveIterations() - before
+}
+
+// TestSweepTIDSWarmStart pins the warm-start contract on the canonical
+// TIDS sweep: identical results (the solvers converge to the same 1e-12
+// residual from any start) while spending substantially fewer solver
+// iterations than the cold sweep — the acceptance bar is a >= 30%
+// reduction, which the grid clears comfortably because neighbouring
+// detection intervals perturb the sojourn vector only mildly.
+func TestSweepTIDSWarmStart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 20
+
+	prev := SetDefaultEvaluator(Direct{Workers: 1})
+	defer SetDefaultEvaluator(prev)
+
+	cold, coldIters := sweepIters(t, func() ([]SweepPoint, error) {
+		return SweepTIDS(cfg, PaperTIDSGrid)
+	})
+	warm, warmIters := sweepIters(t, func() ([]SweepPoint, error) {
+		return SweepTIDSOpts(cfg, PaperTIDSGrid, SweepOpts{WarmStart: true})
+	})
+
+	if len(warm) != len(cold) {
+		t.Fatalf("warm sweep returned %d points, cold %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		c, w := cold[i].Result, warm[i].Result
+		if relDiff(c.MTTSF, w.MTTSF) > 1e-8 {
+			t.Errorf("TIDS=%v: warm MTTSF %v vs cold %v", cold[i].TIDS, w.MTTSF, c.MTTSF)
+		}
+		if relDiff(c.Ctotal, w.Ctotal) > 1e-8 {
+			t.Errorf("TIDS=%v: warm Ctotal %v vs cold %v", cold[i].TIDS, w.Ctotal, c.Ctotal)
+		}
+	}
+	if coldIters == 0 {
+		t.Fatal("cold sweep recorded no solver iterations")
+	}
+	if warmIters > coldIters*7/10 {
+		t.Errorf("warm sweep spent %d iterations, cold %d — want >= 30%% reduction", warmIters, coldIters)
+	}
+}
+
+// TestExploreDesignSpaceWarmStart asserts the warm design-space driver
+// returns the same point set as the cold one (within solver tolerance) and
+// reduces total iterations.
+func TestExploreDesignSpaceWarmStart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 12
+	space := DesignSpace{
+		Ms:         []int{3, 5},
+		TIDSGrid:   []float64{30, 120, 480},
+		Detections: []shapes.Kind{shapes.Linear},
+	}
+
+	prev := SetDefaultEvaluator(Direct{Workers: 1})
+	defer SetDefaultEvaluator(prev)
+
+	before := ctmc.SolveIterations()
+	cold, err := ExploreDesignSpace(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIters := ctmc.SolveIterations() - before
+
+	before = ctmc.SolveIterations()
+	warm, err := ExploreDesignSpaceOpts(cfg, space, SweepOpts{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmIters := ctmc.SolveIterations() - before
+
+	if len(warm) != len(cold) {
+		t.Fatalf("warm space has %d points, cold %d", len(warm), len(cold))
+	}
+	// Both are sorted by ascending Ctotal over the same grid.
+	for i := range cold {
+		if cold[i].M != warm[i].M || cold[i].TIDS != warm[i].TIDS || cold[i].Detection != warm[i].Detection {
+			t.Fatalf("point %d: warm (m=%d TIDS=%v %v) vs cold (m=%d TIDS=%v %v)",
+				i, warm[i].M, warm[i].TIDS, warm[i].Detection, cold[i].M, cold[i].TIDS, cold[i].Detection)
+		}
+		if relDiff(cold[i].MTTSF, warm[i].MTTSF) > 1e-8 {
+			t.Errorf("point %d: warm MTTSF %v vs cold %v", i, warm[i].MTTSF, cold[i].MTTSF)
+		}
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm design space spent %d iterations, cold %d — warm start bought nothing", warmIters, coldIters)
+	}
+}
+
+// TestSolveFromExactGuess pins the mechanism at the ctmc layer: handing
+// the solver its own converged solution must cost almost no iterations
+// compared to the cold solve.
+func TestSolveFromExactGuess(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 20
+	p, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := ctmc.SolveIterations()
+	sol, err := p.Chain.Solve(p.Graph.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIters := ctmc.SolveIterations() - before
+
+	before = ctmc.SolveIterations()
+	warmSol, err := p.Chain.SolveFrom(p.Graph.Initial, sol.SojournTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmIters := ctmc.SolveIterations() - before
+
+	if warmIters*4 > coldIters {
+		t.Errorf("exact-guess solve spent %d iterations vs cold %d", warmIters, coldIters)
+	}
+	cm, err := sol.MeanTimeToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := warmSol.MeanTimeToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(cm, wm) > 1e-9 {
+		t.Errorf("warm MTTA %v vs cold %v", wm, cm)
+	}
+
+	// A warm vector of the wrong shape must be ignored, not crash or skew.
+	bad, err := p.Chain.SolveFrom(p.Graph.Initial, make([]float64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := bad.MeanTimeToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(cm, bm) > 1e-9 {
+		t.Errorf("mismatched warm vector skewed MTTA: %v vs %v", bm, cm)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}

@@ -166,17 +166,46 @@ func (c *Chain) subGenerator() *linalg.CSR {
 	return c.sub
 }
 
+// solverTol and solverMaxIter are the shared cascade settings.
+const (
+	solverTol     = 1e-12
+	solverMaxIter = 40000
+)
+
 // solve runs the solver cascade used throughout: SOR first (fast on the
 // near-triangular absorption structure of IDS models), then BiCGSTAB, then
 // dense LU for small systems as a last resort.
 func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
+	return solveWith(a, rhs, nil)
+}
+
+// solveWith is solve with an optional warm-start guess x0 (nil for a cold
+// start). Grid sweeps hand the previous grid point's solution in: the
+// iterative solvers converge to the same 1e-12 relative residual from any
+// starting point, so warm starts change iteration counts, not answers.
+func solveWith(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
 	solveCount.Add(1)
-	x, res, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	return cascade(a, rhs, x0)
+}
+
+// cascade is the counter-free solver body (SOR -> BiCGSTAB -> dense LU);
+// callers account one SolveCount per logical transient solve themselves.
+func cascade(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
+	x, res, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
 	solveIters.Add(uint64(res.Iterations))
 	if err == nil {
 		return x, nil
 	}
-	x, res, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: 1e-12, MaxIter: 40000})
+	return cascadeTail(a, rhs, x0, err)
+}
+
+// cascadeTail is the cascade after a failed full-budget SOR attempt
+// (BiCGSTAB, then dense LU for small systems). The sweep solver enters
+// here directly when its ω = 1 calibration attempt — already an identical
+// full-budget SOR run — failed, rather than paying the same 40k sweeps
+// twice.
+func cascadeTail(a *linalg.CSR, rhs, x0 linalg.Vector, sorErr error) (linalg.Vector, error) {
+	x, res, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
 	solveIters.Add(uint64(res.Iterations))
 	if err2 == nil {
 		return x, nil
@@ -187,7 +216,7 @@ func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
 			return xd, nil
 		}
 	}
-	return nil, fmt.Errorf("ctmc: linear solve failed: SOR %v; BiCGSTAB %v", err, err2)
+	return nil, fmt.Errorf("ctmc: linear solve failed: SOR %v; BiCGSTAB %v", sorErr, err2)
 }
 
 // SojournTimes returns, for a chain started in state init, the expected
@@ -195,28 +224,69 @@ func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
 // have y[j] = 0. This single solve yields MTTA (sum of y), any accumulated
 // reward (dot product with a reward vector), and absorption splits.
 func (c *Chain) SojournTimes(init int) (linalg.Vector, error) {
+	return c.SojournTimesFrom(init, nil)
+}
+
+// SojournTimesFrom is SojournTimes with an optional warm-start guess: warm
+// is a previous full-length sojourn vector, expected to come from a chain
+// with the same state numbering (the sweep drivers guarantee that — grid
+// points differ in rates, not reachability). A vector of any other length
+// is silently ignored; a vector that matches in length but came from a
+// structurally different chain only degrades the starting iterate, never
+// the answer, since every solve converges to the same 1e-12 residual.
+func (c *Chain) SojournTimesFrom(init int, warm linalg.Vector) (linalg.Vector, error) {
+	at, rhs, y, done, err := c.transientSystem(init)
+	if done || err != nil {
+		return y, err
+	}
+	sol, err := solveWith(at, rhs, c.compactWarm(warm))
+	if err != nil {
+		return nil, err
+	}
+	c.expandTransient(y, sol)
+	return y, nil
+}
+
+// transientSystem prepares the transposed transient sojourn system for a
+// chain started in init: A = Q_TT^T and rhs = -e_init (compact numbering).
+// When no solve is needed (absorbing start, empty transient set) it
+// returns done == true with the zero sojourn vector.
+func (c *Chain) transientSystem(init int) (at *linalg.CSR, rhs, y linalg.Vector, done bool, err error) {
 	if init < 0 || init >= c.n {
-		return nil, fmt.Errorf("ctmc: initial state %d out of range", init)
+		return nil, nil, nil, false, fmt.Errorf("ctmc: initial state %d out of range", init)
 	}
-	y := linalg.NewVector(c.n)
-	if c.absorbing[init] {
-		return y, nil
-	}
-	if len(c.tRev) == 0 {
-		return y, nil
+	y = linalg.NewVector(c.n)
+	if c.absorbing[init] || len(c.tRev) == 0 {
+		return nil, nil, y, true, nil
 	}
 	if len(c.tRev) == c.n {
 		// Fail fast: with no absorbing state Q_TT is singular and the
 		// sojourn times are infinite; don't burn the solver cascade.
-		return nil, fmt.Errorf("ctmc: chain has no absorbing states; MTTA is infinite")
+		return nil, nil, nil, false, fmt.Errorf("ctmc: chain has no absorbing states; MTTA is infinite")
 	}
-	at := c.subGeneratorT()
-	rhs := linalg.NewVector(len(c.tRev))
+	at = c.subGeneratorT()
+	rhs = linalg.NewVector(len(c.tRev))
 	rhs[c.tIdx[init]] = -1
-	sol, err := solve(at, rhs)
-	if err != nil {
-		return nil, err
+	return at, rhs, y, false, nil
+}
+
+// compactWarm maps a full-length warm-start sojourn vector onto the
+// compact transient numbering, or returns nil (cold start) when the shape
+// does not match this chain.
+func (c *Chain) compactWarm(warm linalg.Vector) linalg.Vector {
+	if len(warm) != c.n {
+		return nil
 	}
+	x0 := linalg.NewVector(len(c.tRev))
+	for ti, i := range c.tRev {
+		x0[ti] = warm[i]
+	}
+	return x0
+}
+
+// expandTransient scatters a compact transient solution into the
+// full-length sojourn vector y, clamping tiny negative solver noise.
+func (c *Chain) expandTransient(y, sol linalg.Vector) {
 	for ti, i := range c.tRev {
 		v := sol[ti]
 		if v < 0 && v > -1e-9 {
@@ -224,7 +294,6 @@ func (c *Chain) SojournTimes(init int) (linalg.Vector, error) {
 		}
 		y[i] = v
 	}
-	return y, nil
 }
 
 // MeanTimeToAbsorption returns the expected time until the chain started in

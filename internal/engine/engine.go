@@ -179,6 +179,17 @@ func Default() *Engine { return defaultEngine }
 // returned Result is the caller's own copy.
 func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
 	key := Fingerprint(cfg)
+	return e.evalShared(key, cfg, func() (*core.Result, error) {
+		return e.evaluate(key, cfg)
+	})
+}
+
+// evalShared is the cache/in-flight spine both Eval and EvalWith run
+// through: serve a recorded Result, join an in-flight evaluation of the
+// same point, or register one and run compute. Every miss path shares it,
+// so the "each unique point evaluated exactly once" invariant holds
+// across concurrent Evals, batches, and warm sweeps alike.
+func (e *Engine) evalShared(key string, cfg core.Config, compute func() (*core.Result, error)) (*core.Result, error) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
 	if v, ok := sh.results.get(key); ok {
@@ -204,7 +215,7 @@ func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
 	sh.mu.Unlock()
 	e.misses.Add(1)
 
-	// Deregister and release waiters even if evaluate panics; a wedged
+	// Deregister and release waiters even if compute panics; a wedged
 	// inflight entry would block every later Eval of this key forever.
 	var res *core.Result
 	var err error
@@ -221,7 +232,7 @@ func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
 		sh.mu.Unlock()
 		close(c.done)
 	}()
-	res, err = e.evaluate(key, cfg)
+	res, err = compute()
 	if err != nil {
 		return nil, err
 	}
@@ -268,12 +279,33 @@ func (e *Engine) Prepared(cfg core.Config) (*core.Prepared, error) {
 	return e.preparedFor(Fingerprint(cfg), cfg)
 }
 
+// EvalWith evaluates cfg through the result cache and in-flight dedup,
+// calling prepare — the warm-start sweep drivers build and warm-solve the
+// model there — only on a miss, and recording the fresh Result so later
+// Evals of the same point are ordinary hits instead of depending on the
+// prepared model surviving the byte-budgeted LRU. A fully cached sweep
+// thus re-solves nothing.
+func (e *Engine) EvalWith(cfg core.Config, prepare func() (*core.Prepared, error)) (*core.Result, error) {
+	return e.evalShared(Fingerprint(cfg), cfg, func() (*core.Result, error) {
+		p, err := prepare()
+		if err != nil {
+			return nil, err
+		}
+		e.evals.Add(1)
+		return p.Analyze()
+	})
+}
+
 // EvalBatch evaluates a slice of configurations over the engine's bounded
 // worker pool, preserving order. Duplicate points within a batch collapse
 // onto one evaluation through the in-flight map.
 func (e *Engine) EvalBatch(cfgs []core.Config) ([]*core.Result, error) {
 	return core.RunBatch(cfgs, e.workers, e.Eval)
 }
+
+// WorkerBound reports the engine's batch-parallelism cap, so core's
+// warm-start drivers fan out under the same bound as EvalBatch.
+func (e *Engine) WorkerBound() int { return e.workers }
 
 // Survival estimates the survival function with reps exact CTMC samples,
 // reusing the cached reachability graph for the configuration.

@@ -158,13 +158,38 @@ func TestFingerprintCanonicalization(t *testing.T) {
 
 // TestFingerprintCoversConfig pins the struct shapes the fingerprint
 // serializes: adding a field to core.Config or cost.Params must be
-// accompanied by a fingerprint update (then bump the counts here).
+// accompanied by a fingerprint update (then bump the counts here). Of the
+// 24 Config fields, 23 are serialized; Parallelism is excluded by design
+// (see TestFingerprintIgnoresParallelism).
 func TestFingerprintCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(core.Config{}).NumField(); n != 23 {
-		t.Errorf("core.Config has %d fields; Fingerprint serializes 23 — update fingerprint.go and this count", n)
+	if n := reflect.TypeOf(core.Config{}).NumField(); n != 24 {
+		t.Errorf("core.Config has %d fields; Fingerprint serializes 23 of 24 — update fingerprint.go and this count", n)
 	}
 	if n := reflect.TypeOf(cost.Params{}).NumField(); n != 13 {
 		t.Errorf("cost.Params has %d fields; Fingerprint serializes 13 — update fingerprint.go and this count", n)
+	}
+}
+
+// TestFingerprintIgnoresParallelism pins that exploration parallelism is
+// an execution policy, not a model parameter: configurations differing
+// only in Parallelism evaluate byte-identically (the parallel explorer is
+// deterministically renumbered), so they must share one cache entry.
+func TestFingerprintIgnoresParallelism(t *testing.T) {
+	base := testConfig()
+	par := base
+	par.Parallelism = 8
+	if Fingerprint(base) != Fingerprint(par) {
+		t.Fatal("Parallelism changed the fingerprint; sequential and parallel evaluations would not share cache entries")
+	}
+	e := New(Options{})
+	if _, err := e.Eval(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(par); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Evals != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want the parallel spelling served from the sequential entry", st)
 	}
 }
 
@@ -329,5 +354,49 @@ func TestPreparedReuse(t *testing.T) {
 		if a.Samples[i] != b.Samples[i] {
 			t.Fatal("survival sampling is not deterministic for a fixed seed")
 		}
+	}
+}
+
+// TestWarmSweepPopulatesResultCache pins that warm-start sweeps feed the
+// engine's result cache through EvalPrepared: the points a warm chain
+// computes must later be served as ordinary hits even if the prepared
+// LRU has evicted their graphs.
+func TestWarmSweepPopulatesResultCache(t *testing.T) {
+	e := New(Options{})
+	prev := core.SetDefaultEvaluator(e)
+	defer core.SetDefaultEvaluator(prev)
+
+	cfg := testConfig()
+	grid := []float64{60, 120}
+	points, err := core.SweepTIDSOpts(cfg, grid, core.SweepOpts{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Entries != len(grid) || st.Evals != uint64(len(grid)) {
+		t.Fatalf("stats %+v after warm sweep, want %d cached results / evals", st, len(grid))
+	}
+
+	c := cfg
+	c.TIDS = grid[0]
+	res, err := e.Eval(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Stats(); after.Hits != st.Hits+1 || after.Evals != st.Evals {
+		t.Fatalf("stats %+v, want the warm-computed point served as a cache hit", after)
+	}
+	if res.MTTSF != points[0].Result.MTTSF {
+		t.Fatalf("cached MTTSF %v, warm sweep computed %v", res.MTTSF, points[0].Result.MTTSF)
+	}
+
+	// A repeat warm sweep over cached points rebuilds and re-solves
+	// nothing: EvalWith consults the result cache before preparing.
+	solves := ctmc.SolveCount()
+	if _, err := core.SweepTIDSOpts(cfg, grid, core.SweepOpts{WarmStart: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctmc.SolveCount() - solves; got != 0 {
+		t.Fatalf("repeat warm sweep performed %d solves, want 0 (all points result-cached)", got)
 	}
 }

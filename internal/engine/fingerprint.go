@@ -18,6 +18,12 @@ import (
 //     defaults are the same cost model (both fingerprint through
 //     Config.EffectiveCost).
 //
+// Config.Parallelism is deliberately omitted: it is an execution policy
+// (how many exploration workers run), and the parallel explorer is
+// renumbered to be byte-identical to the sequential one, so configurations
+// differing only in Parallelism evaluate to identical Results and must
+// share cache entries (pinned by TestFingerprintIgnoresParallelism).
+//
 // Floats are encoded with exact binary formatting, so no two distinct
 // parameterizations collide.
 func Fingerprint(cfg core.Config) string {

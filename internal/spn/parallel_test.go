@@ -1,0 +1,181 @@
+package spn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tokenRing builds a bounded net with pure (concurrency-safe) closures: cap
+// tokens circulate over `places` places, one transition per ordered pair of
+// adjacent places plus a split/merge pair, giving a state space that spans
+// several BFS levels and many cross-shard edges.
+func tokenRing(places, cap int) (*Net, Marking) {
+	n := New()
+	for i := 0; i < places; i++ {
+		n.AddPlace(fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < places; i++ {
+		from, to := i, (i+1)%places
+		rate := 0.5 + float64(i)
+		n.MustAddTransition(&Transition{
+			Name:    fmt.Sprintf("t%d", i),
+			Inputs:  []Arc{{Place: from, Weight: 1}},
+			Outputs: []Arc{{Place: to, Weight: 1}},
+			Rate: func(m Marking) float64 {
+				return rate * float64(m[from])
+			},
+		})
+	}
+	// A consuming transition makes some states absorbing-reachable and
+	// keeps the space bounded below the full multinomial.
+	n.MustAddTransition(&Transition{
+		Name:   "sink",
+		Inputs: []Arc{{Place: 0, Weight: 2}},
+		Rate: func(m Marking) float64 {
+			return 0.25 * float64(m[0])
+		},
+	})
+	m0 := make(Marking, places)
+	m0[0] = cap
+	return n, m0
+}
+
+// graphsIdentical asserts g's states, edges, and fingerprint are
+// byte-identical to want's.
+func graphsIdentical(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.NumStates() != want.NumStates() {
+		t.Fatalf("state count %d, want %d", got.NumStates(), want.NumStates())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edge count %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	if got.Initial != want.Initial {
+		t.Fatalf("initial %d, want %d", got.Initial, want.Initial)
+	}
+	for i := range want.States {
+		if !markingEqual(want.States[i], got.States[i]) {
+			t.Fatalf("state %d: %v, want %v", i, got.States[i], want.States[i])
+		}
+		if len(want.Edges[i]) != len(got.Edges[i]) {
+			t.Fatalf("state %d: %d edges, want %d", i, len(got.Edges[i]), len(want.Edges[i]))
+		}
+		for j, e := range want.Edges[i] {
+			if got.Edges[i][j] != e {
+				t.Fatalf("state %d edge %d: %+v, want %+v", i, j, got.Edges[i][j], e)
+			}
+		}
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint %#x, want %#x", got.Fingerprint(), want.Fingerprint())
+	}
+}
+
+// TestExploreParallelDeterministic pins the tentpole property on a generic
+// net: the sharded-frontier explorer produces output byte-identical to the
+// sequential BFS for every worker count.
+func TestExploreParallelDeterministic(t *testing.T) {
+	net, m0 := tokenRing(5, 6)
+	seq, err := net.Explore(m0, ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumStates() < 100 {
+		t.Fatalf("toy net too small to exercise sharding: %d states", seq.NumStates())
+	}
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			got, err := net.Explore(m0, ExploreOpts{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsIdentical(t, seq, got)
+			// The interned lookup table must be rebuilt consistently too.
+			for i, m := range seq.States {
+				if idx, ok := got.StateIndex(m); !ok || idx != i {
+					t.Fatalf("StateIndex(%v) = %d,%v want %d,true", m, idx, ok, i)
+				}
+			}
+		})
+	}
+}
+
+// TestExploreParallelMaxStates asserts the parallel explorer honors the
+// exploration bound with the sequential error text.
+func TestExploreParallelMaxStates(t *testing.T) {
+	net, m0 := tokenRing(5, 6)
+	_, err := net.Explore(m0, ExploreOpts{Parallelism: 4, MaxStates: 50})
+	if err == nil || !strings.Contains(err.Error(), "exceeded 50 states") {
+		t.Fatalf("expected bound error, got %v", err)
+	}
+}
+
+// TestExploreParallelPackFallback asserts nets outside the packed domain
+// (here, more than 16 places) transparently fall back to the sequential
+// explorer and still produce the correct graph.
+func TestExploreParallelPackFallback(t *testing.T) {
+	n := New()
+	const places = 18
+	for i := 0; i < places; i++ {
+		n.AddPlace(fmt.Sprintf("w%d", i))
+	}
+	for i := 0; i < places-1; i++ {
+		from, to := i, i+1
+		n.MustAddTransition(&Transition{
+			Name:    fmt.Sprintf("fwd%d", i),
+			Inputs:  []Arc{{Place: from, Weight: 1}},
+			Outputs: []Arc{{Place: to, Weight: 1}},
+			Rate:    func(m Marking) float64 { return float64(m[from]) },
+		})
+	}
+	m0 := make(Marking, places)
+	m0[0] = 3
+	seq, err := n.Explore(m0, ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := n.Explore(m0, ExploreOpts{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIdentical(t, seq, par)
+}
+
+// TestExploreParallelReplicaValidation asserts mismatched replica nets are
+// rejected instead of silently corrupting the graph.
+func TestExploreParallelReplicaValidation(t *testing.T) {
+	net, m0 := tokenRing(5, 3)
+	other, _ := tokenRing(4, 3)
+	_, err := net.Explore(m0, ExploreOpts{Parallelism: 2, Replicas: []*Net{other}})
+	if err == nil || !strings.Contains(err.Error(), "replica net") {
+		t.Fatalf("expected replica mismatch error, got %v", err)
+	}
+}
+
+// TestGraphFingerprintSensitivity asserts the fingerprint distinguishes
+// graphs that differ only in a rate.
+func TestGraphFingerprintSensitivity(t *testing.T) {
+	build := func(rate float64) *Graph {
+		n := New()
+		a := n.AddPlace("a")
+		b := n.AddPlace("b")
+		n.MustAddTransition(&Transition{
+			Name:    "t",
+			Inputs:  []Arc{{Place: a, Weight: 1}},
+			Outputs: []Arc{{Place: b, Weight: 1}},
+			Rate:    func(m Marking) float64 { return rate },
+		})
+		g, err := n.Explore(Marking{2, 0}, ExploreOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if build(1.0).Fingerprint() == build(1.0000001).Fingerprint() {
+		t.Fatal("fingerprints collide across distinct rates")
+	}
+	if build(1.0).Fingerprint() != build(1.0).Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
