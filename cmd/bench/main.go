@@ -9,14 +9,16 @@
 // Usage:
 //
 //	bench [-preset small|full] [-rev name] [-o file] [-baseline file]
-//	      [-par n] [-gate factor] [-allow workload,...]
+//	      [-par n] [-gate factor] [-allow workload,...] [-trajectory]
 //
 // The small preset (N = 30, 60) finishes in well under a minute and is what
 // CI runs; the full preset adds the paper's N = 100. With -baseline the
 // harness prints a per-workload speedup table against an earlier run; with
 // -gate it additionally exits nonzero when any workload regressed by more
 // than the given factor (CI's soft perf gate; -allow exempts workloads).
-// -rev defaults to the short git revision of the working tree.
+// -rev defaults to the short git revision of the working tree. -trajectory
+// skips measuring entirely and renders every committed BENCH_*.json as one
+// speedup-over-baseline table per workload.
 package main
 
 import (
@@ -25,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -33,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/engine"
+	"repro/internal/linalg"
 	"repro/internal/spn"
 )
 
@@ -56,6 +61,9 @@ type Result struct {
 	// the iterative-solver iterations they spent (solver workloads only).
 	SolvesPerOp     uint64 `json:"solves_per_op,omitempty"`
 	SolveItersPerOp uint64 `json:"solve_iters_per_op,omitempty"`
+	// BackendIters breaks SolveItersPerOp down by solver backend (solver
+	// workloads only): which backend actually did the work, and how much.
+	BackendIters map[string]uint64 `json:"backend_iters_per_op,omitempty"`
 }
 
 // FingerprintCheck records a parallel-vs-sequential exploration identity
@@ -100,7 +108,16 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "exploration worker shards for the parallel workloads")
 	gate := flag.Float64("gate", 0, "fail when a workload is slower than baseline by more than this factor (0 disables)")
 	allow := flag.String("allow", "", "comma-separated workload names exempt from the -gate check")
+	trajectory := flag.Bool("trajectory", false, "aggregate all committed BENCH_*.json into one speedup-over-baseline table and exit")
 	flag.Parse()
+
+	if *trajectory {
+		if err := printTrajectory(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var ns []int
 	switch *preset {
@@ -134,6 +151,8 @@ func main() {
 	sweepN := ns[len(ns)-1]
 	f.Workloads = append(f.Workloads, sweepWorkloads(sweepN)...)
 	f.Workloads = append(f.Workloads, frontierWorkload(30))
+	f.Workloads = append(f.Workloads, backendMatrixWorkloads(sweepN)...)
+	f.Workloads = append(f.Workloads, largeNWorkloads(largeNSide(*preset))...)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -295,9 +314,10 @@ func kernelWorkloads(n, par int) []Result {
 }
 
 // measureSolves wraps measure and annotates the result with per-op solve
-// and solver-iteration counts.
+// and solver-iteration counts, broken down per backend.
 func measureSolves(name string, n int, fn func()) Result {
 	solves0, iters0 := ctmc.SolveCount(), ctmc.SolveIterations()
+	by0 := ctmc.SolveIterationsByBackend()
 	ops := 0
 	r := measure(name, n, func() {
 		ops++
@@ -306,8 +326,126 @@ func measureSolves(name string, n int, fn func()) Result {
 	if ops > 0 {
 		r.SolvesPerOp = (ctmc.SolveCount() - solves0) / uint64(ops)
 		r.SolveItersPerOp = (ctmc.SolveIterations() - iters0) / uint64(ops)
+		for backend, iters := range ctmc.SolveIterationsByBackend() {
+			if delta := iters - by0[backend]; delta > 0 {
+				if r.BackendIters == nil {
+					r.BackendIters = make(map[string]uint64)
+				}
+				r.BackendIters[backend] = delta / uint64(ops)
+			}
+		}
 	}
 	return r
+}
+
+// largeNSide is the lattice side of the solve_largeN workload per preset:
+// the full preset's 224x224 lattice has 50176 transient states — past the
+// auto heuristic's Krylov threshold and large enough that stationary
+// iteration counts dominate; the small preset shrinks it to keep CI quick.
+func largeNSide(preset string) int {
+	if preset == "full" {
+		return 224
+	}
+	return 110
+}
+
+// largeNChain builds the synthetic large-N benchmark chain: a side x side
+// lattice random walk (rate 1 to each neighbour) with a uniform rate-delta
+// absorption edge from every cell to one absorbing state. The paper's SPN
+// models top out near 10^4 states, so the workload that shows where the
+// solver backends part ways is synthetic by necessity — the lattice is the
+// canonical operator on which stationary iteration counts grow with N while
+// preconditioned-Krylov counts stay nearly flat.
+func largeNChain(side int) *ctmc.Chain {
+	const delta = 0.02
+	n := side * side
+	b := linalg.NewSparseBuilder(n+1, n+1)
+	idx := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			i := idx(r, c)
+			deg := 0.0
+			add := func(j int) {
+				b.Add(i, j, 1)
+				deg++
+			}
+			if r > 0 {
+				add(idx(r-1, c))
+			}
+			if r < side-1 {
+				add(idx(r+1, c))
+			}
+			if c > 0 {
+				add(idx(r, c-1))
+			}
+			if c < side-1 {
+				add(idx(r, c+1))
+			}
+			b.Add(i, n, delta)
+			b.Add(i, i, -(deg + delta))
+		}
+	}
+	chain, err := ctmc.NewChain(b.Build())
+	if err != nil {
+		fatal(err)
+	}
+	return chain
+}
+
+// largeNWorkloads times the transient sojourn solve on the synthetic
+// large-N chain once per backend (plus auto, which must route to the
+// Krylov side at this size). Each backend gets a fresh chain so it pays
+// its own one-time sub-generator assembly and (for the Krylov backends)
+// ILU(0) factorization on the first op — exactly the per-chain amortization
+// production sees.
+func largeNWorkloads(side int) []Result {
+	states := side * side
+	var out []Result
+	for _, spec := range []struct{ short, backend string }{
+		{"sor", ctmc.BackendSORCascade},
+		{"ilu", ctmc.BackendILUBiCGSTAB},
+		{"gmres", ctmc.BackendGMRES},
+		{"auto", ctmc.BackendAuto},
+	} {
+		backend, err := ctmc.SolverBackendByName(spec.backend)
+		if err != nil {
+			fatal(err)
+		}
+		chain := largeNChain(side)
+		chain.SetSolver(backend)
+		r := measureSolves("solve_largeN_"+spec.short, states, func() {
+			if _, err := chain.Solve(0); err != nil {
+				fatal(err)
+			}
+		})
+		r.States = chain.NumStates()
+		out = append(out, r)
+	}
+	return out
+}
+
+// backendMatrixWorkloads times the paper-model sojourn solve at size n
+// under every registered backend — the apples-to-apples matrix that shows
+// which backend the auto heuristic should pick at paper scale.
+func backendMatrixWorkloads(n int) []Result {
+	_, g := mustPrepare(n)
+	var out []Result
+	for _, name := range ctmc.SolverBackendNames() {
+		backend, err := ctmc.SolverBackendByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		chain := ctmc.FromGraph(g)
+		chain.SetSolver(backend)
+		r := measureSolves("solve_backend_"+name, n, func() {
+			if _, err := chain.Solve(g.Initial); err != nil {
+				fatal(err)
+			}
+		})
+		r.States = g.NumStates()
+		out = append(out, r)
+	}
+	return out
 }
 
 // sweepWorkloads measures the full evaluation pipeline over the paper's
@@ -453,6 +591,104 @@ func printComparison(path string, cur File, gate float64, allow map[string]bool)
 		}
 	}
 	return regressed, nil
+}
+
+// printTrajectory renders the repository's whole performance trajectory:
+// every committed BENCH_*.json, ordered by run date (the revision named
+// "baseline" always first), as one speedup-over-baseline table per
+// workload row — readable without diffing JSON files.
+func printTrajectory() error {
+	paths := committedBenchFiles()
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json files in the current directory")
+	}
+	files := make([]File, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	sort.SliceStable(files, func(i, j int) bool {
+		if (files[i].Revision == "baseline") != (files[j].Revision == "baseline") {
+			return files[i].Revision == "baseline"
+		}
+		return files[i].Date < files[j].Date
+	})
+
+	type key struct {
+		name string
+		n    int
+	}
+	perFile := make([]map[key]Result, len(files))
+	var order []key
+	seen := make(map[key]bool)
+	for fi, f := range files {
+		perFile[fi] = make(map[key]Result, len(f.Workloads))
+		for _, w := range f.Workloads {
+			k := key{w.Name, w.N}
+			perFile[fi][k] = w
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+		}
+	}
+
+	base := perFile[0]
+	fmt.Printf("performance trajectory (speedup vs %s; raw time where the baseline lacks the workload)\n\n", files[0].Revision)
+	fmt.Printf("%-24s %-7s", "workload", "N")
+	for _, f := range files {
+		fmt.Printf(" %12s", f.Revision)
+	}
+	fmt.Println()
+	for _, k := range order {
+		fmt.Printf("%-24s %-7d", k.name, k.n)
+		for fi := range files {
+			w, ok := perFile[fi][k]
+			if !ok || w.NsPerOp == 0 {
+				fmt.Printf(" %12s", "--")
+				continue
+			}
+			if b, ok := base[k]; ok && b.NsPerOp > 0 {
+				fmt.Printf(" %11.2fx", float64(b.NsPerOp)/float64(w.NsPerOp))
+			} else {
+				// No baseline entry: show the raw time so a later run can
+				// still be eyeballed against its neighbours.
+				fmt.Printf(" %12s", fmtNs(w.NsPerOp))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ncolumns are runs in date order; \"--\" = workload absent or unmeasured; raw times shown where the baseline run lacks the workload\n")
+	return nil
+}
+
+// fmtNs renders a nanosecond count compactly (1.23ms style).
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// committedBenchFiles lists the BENCH_*.json files the trajectory renders:
+// the git-tracked set when available (local, uncommitted runs would skew
+// the table), falling back to a plain glob outside a git checkout.
+func committedBenchFiles() []string {
+	out, err := exec.Command("git", "ls-files", "--", "BENCH_*.json").Output()
+	if err == nil {
+		if tracked := strings.Fields(strings.TrimSpace(string(out))); len(tracked) > 0 {
+			return tracked
+		}
+	}
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return nil
+	}
+	return paths
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/ctmc"
 	"repro/internal/shapes"
 )
 
@@ -99,6 +100,21 @@ type Config struct {
 	// exploration builds one model replica per extra worker so the rate
 	// memos stay unsynchronized on the hot path.
 	Parallelism int
+	// Solver selects the linear-solver backend the transient sojourn
+	// solves run through: "" or "auto" picks by problem size (the SOR
+	// cascade only for tiny systems below a few hundred transient states,
+	// ILU(0)-preconditioned BiCGSTAB everywhere above — the measured
+	// crossover; see ctmc's autoKrylovStates), or name a registered
+	// backend explicitly ("sor-cascade", "ilu-bicgstab", "gmres"; see
+	// ctmc.SolverBackendNames). Like Parallelism it is an execution
+	// policy, not a model parameter: every backend converges to the same
+	// 1e-12 relative residual, so the evaluation engine excludes it from
+	// Config fingerprints and configurations differing only here share
+	// cache entries — including prepared models, which keep the backend
+	// of whichever spelling prepared them first. The REPRO_SOLVER
+	// environment variable overrides the default for the whole process
+	// (CI runs the test suite as a matrix over it).
+	Solver string
 }
 
 // DefaultConfig returns the paper's Section 5 parameterization: N=100
@@ -167,6 +183,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: ShapeP = %v, need > 1", c.ShapeP)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: Parallelism = %d, need >= 0", c.Parallelism)
+	}
+	if c.Solver != "" {
+		if _, err := ctmc.SolverBackendByName(c.Solver); err != nil {
+			return fmt.Errorf("core: Solver: %w", err)
+		}
 	}
 	if c.Cost != nil {
 		if err := c.Cost.Validate(); err != nil {

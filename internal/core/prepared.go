@@ -31,7 +31,14 @@ type Prepared struct {
 
 // Prepare builds the SPN for cfg, explores its reachability graph, and
 // assembles the CTMC — everything up to (but not including) the linear
-// solve.
+// solve. The configuration's solver backend (Config.Solver, "" = auto) is
+// pinned on the chain here so every solve derived from this Prepared —
+// cold, warm-started, or all-starts — runs through it. Note the memoizing
+// engine shares prepared models across solver spellings (the fingerprint
+// excludes Solver, like Parallelism): a cache-hit Prepared keeps the
+// backend of whichever spelling prepared it first, which is sound because
+// backends are execution policy — its solution is memoized and
+// tolerance-identical under every backend.
 func Prepare(cfg Config) (*Prepared, error) {
 	model, err := BuildModel(cfg)
 	if err != nil {
@@ -41,7 +48,15 @@ func Prepare(cfg Config) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{Model: model, Graph: graph, Chain: ctmc.FromGraph(graph)}, nil
+	chain := ctmc.FromGraph(graph)
+	if cfg.Solver != "" {
+		backend, err := ctmc.SolverBackendByName(cfg.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		chain.SetSolver(backend)
+	}
+	return &Prepared{Model: model, Graph: graph, Chain: chain}, nil
 }
 
 // SizeBytes estimates the resident footprint of the prepared model: the

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/linalg"
+	"repro/internal/shapes"
+)
+
+// denseSojournReference solves a Prepared's sojourn system with dense LU —
+// the ground truth every iterative backend must agree with.
+func denseSojournReference(t *testing.T, p *Prepared) linalg.Vector {
+	t.Helper()
+	c := p.Chain
+	n := c.NumStates()
+	q := c.Generator()
+	// Compact transient numbering, in state order (matches ctmc's).
+	tIdx := make([]int, n)
+	var tRev []int
+	for i := 0; i < n; i++ {
+		if c.IsAbsorbing(i) {
+			tIdx[i] = -1
+			continue
+		}
+		tIdx[i] = len(tRev)
+		tRev = append(tRev, i)
+	}
+	nt := len(tRev)
+	if nt == 0 || nt == n {
+		t.Fatalf("degenerate transient set (%d of %d states)", nt, n)
+	}
+	// A = Q_TT^T, rhs = -e_init.
+	at := linalg.NewDense(nt, nt)
+	for ti, i := range tRev {
+		q.Row(i, func(j int, v float64) {
+			if tj := tIdx[j]; tj >= 0 {
+				at.Set(tj, ti, v)
+			}
+		})
+	}
+	rhs := linalg.NewVector(nt)
+	rhs[tIdx[p.Graph.Initial]] = -1
+	sol, err := linalg.SolveDense(at, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := linalg.NewVector(n)
+	for ti, i := range tRev {
+		v := sol[ti]
+		if v < 0 && v > -1e-9 {
+			v = 0
+		}
+		full[i] = v
+	}
+	return full
+}
+
+// solverEquivGrid is the PR2 model grid the cross-backend equivalence
+// property runs on: the same small-model family the exploration
+// isomorphism property uses, spanning protocols, shapes, and eviction
+// variants.
+func solverEquivGrid() []Config {
+	var grid []Config
+	for _, n := range []int{6, 10} {
+		for _, proto := range []Protocol{ProtocolVoting, ProtocolClusterHead} {
+			for _, det := range []shapes.Kind{shapes.Linear, shapes.Logarithmic} {
+				cfg := DefaultConfig()
+				cfg.N = n
+				cfg.Protocol = proto
+				cfg.Detection = det
+				grid = append(grid, cfg)
+			}
+		}
+	}
+	explicit := DefaultConfig()
+	explicit.N = 6
+	explicit.ExplicitEviction = true
+	grid = append(grid, explicit)
+	return grid
+}
+
+// TestBackendsMatchDenseLUOnModelGrid is the cross-backend equivalence
+// property: every registered solver backend reproduces the dense-LU sojourn
+// vector to 1e-10 on the small-model grid. Backends are execution policy —
+// this is what licenses excluding Config.Solver from engine fingerprints.
+func TestBackendsMatchDenseLUOnModelGrid(t *testing.T) {
+	for gi, base := range solverEquivGrid() {
+		ref, err := Prepare(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := denseSojournReference(t, ref)
+		for _, name := range ctmc.SolverBackendNames() {
+			cfg := base
+			cfg.Solver = name
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("grid %d solver %s: %v", gi, name, err)
+			}
+			p, err := Prepare(cfg)
+			if err != nil {
+				t.Fatalf("grid %d solver %s: %v", gi, name, err)
+			}
+			sol, err := p.Solution()
+			if err != nil {
+				t.Fatalf("grid %d solver %s: %v", gi, name, err)
+			}
+			y := sol.SojournTimes()
+			scale := 1 + want.NormInf()
+			for i := range want {
+				if d := y[i] - want[i]; d > 1e-10*scale || d < -1e-10*scale {
+					t.Fatalf("grid %d solver %s: sojourn[%d] = %g, dense LU %g (diff %g)",
+						gi, name, i, y[i], want[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendsMatchDenseLUWarmSwept extends the equivalence property to
+// warm-started sweep points: chaining a TIDS sweep through a SweepSolver
+// under every backend must still land on the dense-LU answer at every grid
+// point.
+func TestBackendsMatchDenseLUWarmSwept(t *testing.T) {
+	grid := []float64{30, 120, 480}
+	base := DefaultConfig()
+	base.N = 10
+	for _, name := range ctmc.SolverBackendNames() {
+		ws := ctmc.NewSweepSolver()
+		for _, tids := range grid {
+			cfg := base
+			cfg.TIDS = tids
+			cfg.Solver = name
+			p, err := Prepare(cfg)
+			if err != nil {
+				t.Fatalf("solver %s TIDS %v: %v", name, tids, err)
+			}
+			sol, err := p.SolutionSwept(ws)
+			if err != nil {
+				t.Fatalf("solver %s TIDS %v: %v", name, tids, err)
+			}
+			want := denseSojournReference(t, p)
+			y := sol.SojournTimes()
+			scale := 1 + want.NormInf()
+			for i := range want {
+				if d := y[i] - want[i]; d > 1e-10*scale || d < -1e-10*scale {
+					t.Fatalf("solver %s TIDS %v: warm sojourn[%d] = %g, dense LU %g",
+						name, tids, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConfigSolverValidation pins the knob's validation: registered names
+// and "" pass, anything else is rejected before any work happens.
+func TestConfigSolverValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range append([]string{""}, ctmc.SolverBackendNames()...) {
+		cfg.Solver = name
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Solver=%q rejected: %v", name, err)
+		}
+	}
+	cfg.Solver = "cholesky-of-doom"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown solver name passed validation")
+	}
+	if _, err := Prepare(cfg); err == nil {
+		t.Error("Prepare accepted an unknown solver name")
+	}
+}

@@ -31,6 +31,52 @@ type Chain struct {
 	sub      *linalg.CSR
 	subTOnce sync.Once
 	subT     *linalg.CSR
+
+	// ILU(0) factors are cached alongside the sub-generators they factor,
+	// one per matrix, so every sweep point and warm-started solve of the
+	// same chain reuses them instead of refactoring.
+	iluSubOnce  sync.Once
+	iluSub      *linalg.ILU0
+	iluSubErr   error
+	iluSubTOnce sync.Once
+	iluSubT     *linalg.ILU0
+	iluSubTErr  error
+
+	// solver is the explicit backend selected for this chain (nil routes
+	// through DefaultSolverBackend).
+	solver SolverBackend
+}
+
+// SetSolver pins the linear-solver backend this chain's transient solves
+// run through; nil restores the process default. Call before the first
+// solve — the backend is an execution policy, so switching mid-chain only
+// affects subsequent solves, never already-memoized solutions.
+func (c *Chain) SetSolver(b SolverBackend) { c.solver = b }
+
+// Solver returns the backend this chain solves with.
+func (c *Chain) Solver() SolverBackend {
+	if c.solver != nil {
+		return c.solver
+	}
+	return DefaultSolverBackend()
+}
+
+// iluForSubT lazily factors the transposed transient sub-generator (the
+// sojourn system's matrix), caching factors and error on the chain.
+func (c *Chain) iluForSubT() (*linalg.ILU0, error) {
+	c.iluSubTOnce.Do(func() {
+		c.iluSubT, c.iluSubTErr = linalg.NewILU0(c.subGeneratorT())
+	})
+	return c.iluSubT, c.iluSubTErr
+}
+
+// iluForSub lazily factors the transient sub-generator Q_TT (the
+// all-starts reward system's matrix).
+func (c *Chain) iluForSub() (*linalg.ILU0, error) {
+	c.iluSubOnce.Do(func() {
+		c.iluSub, c.iluSubErr = linalg.NewILU0(c.subGenerator())
+	})
+	return c.iluSub, c.iluSubErr
 }
 
 // FromGraph converts an SPN reachability graph into a CTMC. The graph's
@@ -172,27 +218,22 @@ const (
 	solverMaxIter = 40000
 )
 
-// solve runs the solver cascade used throughout: SOR first (fast on the
-// near-triangular absorption structure of IDS models), then BiCGSTAB, then
-// dense LU for small systems as a last resort.
-func solve(a *linalg.CSR, rhs linalg.Vector) (linalg.Vector, error) {
-	return solveWith(a, rhs, nil)
-}
-
-// solveWith is solve with an optional warm-start guess x0 (nil for a cold
-// start). Grid sweeps hand the previous grid point's solution in: the
-// iterative solvers converge to the same 1e-12 relative residual from any
-// starting point, so warm starts change iteration counts, not answers.
-func solveWith(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
+// solveVia routes one logical transient solve through the chain's selected
+// backend ("auto" resolves per system size). ilu hands the backend the
+// chain-cached ILU(0) factors of a. Warm-start guesses change iteration
+// counts, not answers: every backend converges to the same 1e-12 relative
+// residual from any starting point.
+func (c *Chain) solveVia(a *linalg.CSR, rhs, x0 linalg.Vector, ilu func() (*linalg.ILU0, error)) (linalg.Vector, error) {
 	solveCount.Add(1)
-	return cascade(a, rhs, x0)
+	b := resolveBackend(c.Solver(), a)
+	return b.Solve(&SolveContext{A: a, B: rhs, X0: x0, ILU: ilu})
 }
 
 // cascade is the counter-free solver body (SOR -> BiCGSTAB -> dense LU);
 // callers account one SolveCount per logical transient solve themselves.
 func cascade(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
 	x, res, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
-	solveIters.Add(uint64(res.Iterations))
+	addSolveIters(BackendSORCascade, uint64(res.Iterations))
 	if err == nil {
 		return x, nil
 	}
@@ -206,7 +247,7 @@ func cascade(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
 // twice.
 func cascadeTail(a *linalg.CSR, rhs, x0 linalg.Vector, sorErr error) (linalg.Vector, error) {
 	x, res, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
-	solveIters.Add(uint64(res.Iterations))
+	addSolveIters(BackendSORCascade, uint64(res.Iterations))
 	if err2 == nil {
 		return x, nil
 	}
@@ -239,7 +280,7 @@ func (c *Chain) SojournTimesFrom(init int, warm linalg.Vector) (linalg.Vector, e
 	if done || err != nil {
 		return y, err
 	}
-	sol, err := solveWith(at, rhs, c.compactWarm(warm))
+	sol, err := c.solveVia(at, rhs, c.compactWarm(warm), c.iluForSubT)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +396,7 @@ func (c *Chain) ExpectedRewardAllStarts(reward linalg.Vector) (linalg.Vector, er
 	for ti, i := range c.tRev {
 		rhs[ti] = -reward[i]
 	}
-	sol, err := solve(a, rhs)
+	sol, err := c.solveVia(a, rhs, nil, c.iluForSub)
 	if err != nil {
 		return nil, err
 	}

@@ -52,14 +52,26 @@ func (ws *SweepSolver) Observe(sol *Solution) {
 
 // Solve performs the sojourn solve for chain c started in init, warm
 // starting from — and calibrating on — the sweep's earlier solves.
+//
+// The ω-calibration machinery is SOR-specific; when the chain's selected
+// backend resolves to a Krylov method the sweep delegates to it directly,
+// still handing over the previous grid point's vector as the warm start.
+// The Krylov backends pull the chain-cached ILU(0) factors, so the whole
+// sweep family pays one factorization per chain, not one per point.
 func (ws *SweepSolver) Solve(c *Chain, init int) (*Solution, error) {
 	at, rhs, y, done, err := c.transientSystem(init)
 	if err != nil {
 		return nil, err
 	}
 	if !done {
-		solveCount.Add(1)
-		sol, err := ws.solveSystem(at, rhs, c.compactWarm(ws.prev))
+		x0 := c.compactWarm(ws.prev)
+		var sol linalg.Vector
+		if b := resolveBackend(c.Solver(), at); b.Name() != BackendSORCascade {
+			sol, err = c.solveVia(at, rhs, x0, c.iluForSubT)
+		} else {
+			solveCount.Add(1)
+			sol, err = ws.solveSystem(at, rhs, x0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +102,7 @@ func (ws *SweepSolver) solveSystem(at *linalg.CSR, rhs, x0 linalg.Vector) (linal
 			}
 		}
 		x, res, err := linalg.SolveSOR(at, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
-		solveIters.Add(uint64(res.Iterations))
+		addSolveIters(BackendSORCascade, uint64(res.Iterations))
 		if err != nil {
 			// This was already a full-budget ω = 1 SOR run; go straight
 			// to the cascade's BiCGSTAB/LU tail instead of repeating it.
@@ -109,7 +121,7 @@ func (ws *SweepSolver) solveSystem(at *linalg.CSR, rhs, x0 linalg.Vector) (linal
 		budget = solverMaxIter
 	}
 	x, res, err := linalg.SolveSOR(at, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: budget, Omega: ws.omega, X0: x0})
-	solveIters.Add(uint64(res.Iterations))
+	addSolveIters(BackendSORCascade, uint64(res.Iterations))
 	if err == nil {
 		ws.lastIters = res.Iterations
 		return x, nil

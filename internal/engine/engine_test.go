@@ -159,11 +159,12 @@ func TestFingerprintCanonicalization(t *testing.T) {
 // TestFingerprintCoversConfig pins the struct shapes the fingerprint
 // serializes: adding a field to core.Config or cost.Params must be
 // accompanied by a fingerprint update (then bump the counts here). Of the
-// 24 Config fields, 23 are serialized; Parallelism is excluded by design
-// (see TestFingerprintIgnoresParallelism).
+// 25 Config fields, 23 are serialized; Parallelism and Solver are excluded
+// by design (see TestFingerprintIgnoresParallelism and
+// TestFingerprintIgnoresSolver).
 func TestFingerprintCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(core.Config{}).NumField(); n != 24 {
-		t.Errorf("core.Config has %d fields; Fingerprint serializes 23 of 24 — update fingerprint.go and this count", n)
+	if n := reflect.TypeOf(core.Config{}).NumField(); n != 25 {
+		t.Errorf("core.Config has %d fields; Fingerprint serializes 23 of 25 — update fingerprint.go and this count", n)
 	}
 	if n := reflect.TypeOf(cost.Params{}).NumField(); n != 13 {
 		t.Errorf("cost.Params has %d fields; Fingerprint serializes 13 — update fingerprint.go and this count", n)
@@ -190,6 +191,34 @@ func TestFingerprintIgnoresParallelism(t *testing.T) {
 	}
 	if st := e.Stats(); st.Evals != 1 || st.Hits != 1 {
 		t.Fatalf("stats %+v, want the parallel spelling served from the sequential entry", st)
+	}
+}
+
+// TestFingerprintIgnoresSolver pins that the linear-solver backend is an
+// execution policy, not a model parameter: every backend converges to the
+// same 1e-12 relative residual, so configurations differing only in Solver
+// evaluate tolerance-identically (the cross-backend equivalence tests in
+// core pin that) and must share one cache entry.
+func TestFingerprintIgnoresSolver(t *testing.T) {
+	base := testConfig()
+	for _, name := range ctmc.SolverBackendNames() {
+		alt := base
+		alt.Solver = name
+		if Fingerprint(base) != Fingerprint(alt) {
+			t.Fatalf("Solver=%q changed the fingerprint; solver spellings would not share cache entries", name)
+		}
+	}
+	e := New(Options{})
+	if _, err := e.Eval(base); err != nil {
+		t.Fatal(err)
+	}
+	ilu := base
+	ilu.Solver = ctmc.BackendILUBiCGSTAB
+	if _, err := e.Eval(ilu); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Evals != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want the ilu-bicgstab spelling served from the default entry", st)
 	}
 }
 

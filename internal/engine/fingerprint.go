@@ -18,11 +18,13 @@ import (
 //     defaults are the same cost model (both fingerprint through
 //     Config.EffectiveCost).
 //
-// Config.Parallelism is deliberately omitted: it is an execution policy
-// (how many exploration workers run), and the parallel explorer is
-// renumbered to be byte-identical to the sequential one, so configurations
-// differing only in Parallelism evaluate to identical Results and must
-// share cache entries (pinned by TestFingerprintIgnoresParallelism).
+// Config.Parallelism and Config.Solver are deliberately omitted: both are
+// execution policies. The parallel explorer is renumbered to be
+// byte-identical to the sequential one, and every solver backend converges
+// to the same 1e-12 relative residual, so configurations differing only in
+// these knobs evaluate to identical Results (to solver tolerance) and must
+// share cache entries (pinned by TestFingerprintIgnoresParallelism and
+// TestFingerprintIgnoresSolver).
 //
 // Floats are encoded with exact binary formatting, so no two distinct
 // parameterizations collide.

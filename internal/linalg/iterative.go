@@ -70,15 +70,14 @@ func SolveSOR(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	if bNorm == 0 {
 		bNorm = 1
 	}
-	res := NewVector(n)
 	var it int
 	for it = 1; it <= opts.MaxIter; it++ {
 		sorSweep(a, diagIdx, b, x, opts.Omega)
-		// Check the true residual every few sweeps to amortize the matvec.
+		// Check the true residual every few sweeps to amortize the matvec;
+		// the fused ResidualNorm folds the matvec and the norm into one
+		// pass with no residual vector.
 		if it%4 == 0 || it == opts.MaxIter {
-			a.MulVecTo(res, x)
-			res.Sub(res, b)
-			r := res.Norm2() / bNorm
+			r := ResidualNorm(a, x, b) / bNorm
 			if r <= opts.Tol {
 				return x, IterResult{Iterations: it, Residual: r}, nil
 			}
@@ -88,9 +87,7 @@ func SolveSOR(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 			}
 		}
 	}
-	a.MulVecTo(res, x)
-	res.Sub(res, b)
-	r := res.Norm2() / bNorm
+	r := ResidualNorm(a, x, b) / bNorm
 	return x, IterResult{Iterations: opts.MaxIter, Residual: r}, ErrNoConvergence
 }
 
@@ -128,6 +125,9 @@ func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	}
 	x := NewVector(n)
 	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, IterResult{}, fmt.Errorf("linalg: SolveJacobi X0 length %d, want %d", len(opts.X0), n)
+		}
 		copy(x, opts.X0)
 	}
 	next := NewVector(n)
@@ -135,7 +135,6 @@ func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 	if bNorm == 0 {
 		bNorm = 1
 	}
-	res := NewVector(n)
 	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
 	for it := 1; it <= opts.MaxIter; it++ {
 		for i := 0; i < n; i++ {
@@ -150,17 +149,13 @@ func SolveJacobi(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) {
 		}
 		x, next = next, x
 		if it%8 == 0 || it == opts.MaxIter {
-			a.MulVecTo(res, x)
-			res.Sub(res, b)
-			r := res.Norm2() / bNorm
+			r := ResidualNorm(a, x, b) / bNorm
 			if r <= opts.Tol {
 				return x, IterResult{Iterations: it, Residual: r}, nil
 			}
 		}
 	}
-	a.MulVecTo(res, x)
-	res.Sub(res, b)
-	return x, IterResult{Iterations: opts.MaxIter, Residual: res.Norm2() / bNorm}, ErrNoConvergence
+	return x, IterResult{Iterations: opts.MaxIter, Residual: ResidualNorm(a, x, b) / bNorm}, ErrNoConvergence
 }
 
 // SolveBiCGSTAB solves a general (possibly non-symmetric) sparse system with
@@ -174,6 +169,9 @@ func SolveBiCGSTAB(a *CSR, b Vector, opts IterOpts) (Vector, IterResult, error) 
 	}
 	x := NewVector(n)
 	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, IterResult{}, fmt.Errorf("linalg: SolveBiCGSTAB X0 length %d, want %d", len(opts.X0), n)
+		}
 		copy(x, opts.X0)
 	}
 	r := NewVector(n)

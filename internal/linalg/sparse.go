@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -182,17 +183,52 @@ func (m *CSR) MulVec(x Vector) Vector {
 }
 
 // MulVecTo computes y = m * x into a caller-provided y, avoiding allocation.
+// The inner product is 4-way unrolled with independent accumulators so the
+// gather loads and multiplies pipeline instead of serializing on one
+// accumulator chain (pinned allocation-free by TestMulVecToAllocs).
 func (m *CSR) MulVecTo(y, x Vector) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic("linalg: CSR.MulVecTo dimension mismatch")
 	}
+	rowPtr, colIdx, val := m.RowPtr, m.ColIdx, m.Val
 	for i := 0; i < m.Rows; i++ {
-		s := 0.0
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
-		}
-		y[i] = s
+		y[i] = rowDot(colIdx, val, x, rowPtr[i], rowPtr[i+1])
 	}
+}
+
+// rowDot returns sum(val[k] * x[colIdx[k]]) over k in [lo, hi), 4-way
+// unrolled. It is the shared inner kernel of MulVecTo and ResidualNorm.
+func rowDot(colIdx []int, val []float64, x Vector, lo, hi int) float64 {
+	var s0, s1, s2, s3 float64
+	k := lo
+	for ; k+4 <= hi; k += 4 {
+		s0 += val[k] * x[colIdx[k]]
+		s1 += val[k+1] * x[colIdx[k+1]]
+		s2 += val[k+2] * x[colIdx[k+2]]
+		s3 += val[k+3] * x[colIdx[k+3]]
+	}
+	for ; k < hi; k++ {
+		s0 += val[k] * x[colIdx[k]]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// ResidualNorm returns ||m*x - b||_2 in a single fused pass: each row's
+// product is folded into the squared norm immediately, so no residual
+// vector is materialized and the matrix values stream through once. It is
+// the convergence check of the iterative solvers (allocation-free, pinned
+// by TestResidualNormAllocs).
+func ResidualNorm(m *CSR, x, b Vector) float64 {
+	if len(x) != m.Cols || len(b) != m.Rows {
+		panic("linalg: ResidualNorm dimension mismatch")
+	}
+	rowPtr, colIdx, val := m.RowPtr, m.ColIdx, m.Val
+	ss := 0.0
+	for i := 0; i < m.Rows; i++ {
+		r := rowDot(colIdx, val, x, rowPtr[i], rowPtr[i+1]) - b[i]
+		ss += r * r
+	}
+	return math.Sqrt(ss)
 }
 
 // TransposeMulVec returns m^T * x without forming the transpose.
