@@ -32,12 +32,16 @@
 package repro
 
 import (
+	"context"
+	"net/http"
+
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/ids"
 	"repro/internal/manet"
+	"repro/internal/service"
 	"repro/internal/shapes"
 	"repro/internal/sim"
 	"repro/internal/voting"
@@ -148,9 +152,23 @@ func DefaultEngine() *Engine { return engine.Default() }
 // failure split.
 func Analyze(cfg Config) (*Result, error) { return engine.Default().Eval(cfg) }
 
+// AnalyzeContext is Analyze with cancellation: a canceled context stops
+// the evaluation before the expensive model build/solve starts (work
+// already underway finishes and is cached).
+func AnalyzeContext(ctx context.Context, cfg Config) (*Result, error) {
+	return engine.Default().EvalContext(ctx, cfg)
+}
+
 // EvalBatch evaluates many configurations over the default engine's
 // bounded worker pool, preserving order and deduplicating repeats.
 func EvalBatch(cfgs []Config) ([]*Result, error) { return engine.Default().EvalBatch(cfgs) }
+
+// EvalBatchContext is EvalBatch with cancellation: workers check the
+// context at each point boundary, so an abandoned batch stops burning
+// solver time on its remaining points.
+func EvalBatchContext(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	return engine.Default().EvalBatchContext(ctx, cfgs)
+}
 
 // MTTSF computes the mean time to security failure. It routes through the
 // same memoized evaluation as Analyze (one solve per unique configuration,
@@ -162,6 +180,32 @@ func MTTSF(cfg Config) (float64, error) {
 		return 0, err
 	}
 	return res.MTTSF, nil
+}
+
+// --- Evaluation service (remote engine) ---
+
+// Client evaluates configurations against a running evaluation server
+// (cmd/server) over its HTTP/JSON API; results decode to exactly the
+// values an in-process engine returns for the same configurations. See
+// the README's server quickstart for the endpoint table.
+type Client = service.Client
+
+// ServiceStats is the GET /v1/stats payload: the remote engine's cache
+// accounting plus the service-level request counters.
+type ServiceStats = service.StatsResponse
+
+// ErrServerOverloaded reports a 429 from the server's admission control;
+// the request was never evaluated and can be retried after a backoff.
+var ErrServerOverloaded = service.ErrOverloaded
+
+// NewClient builds a client for the evaluation server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client { return service.NewClient(baseURL, nil) }
+
+// NewClientHTTP is NewClient with an explicit http.Client (custom
+// transports, proxies, or TLS configuration).
+func NewClientHTTP(baseURL string, hc *http.Client) *Client {
+	return service.NewClient(baseURL, hc)
 }
 
 // PaperTIDSGrid is the detection-interval grid used in the paper's figures.

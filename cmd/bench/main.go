@@ -22,15 +22,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -38,6 +42,7 @@ import (
 	"repro/internal/ctmc"
 	"repro/internal/engine"
 	"repro/internal/linalg"
+	"repro/internal/service"
 	"repro/internal/spn"
 )
 
@@ -64,6 +69,11 @@ type Result struct {
 	// BackendIters breaks SolveItersPerOp down by solver backend (solver
 	// workloads only): which backend actually did the work, and how much.
 	BackendIters map[string]uint64 `json:"backend_iters_per_op,omitempty"`
+	// ReqPerSec and P99Ns are HTTP-serving throughput and tail latency
+	// (service workloads only): requests completed per second across the
+	// concurrent client pool, and the 99th-percentile request latency.
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	P99Ns     int64   `json:"p99_ns,omitempty"`
 }
 
 // FingerprintCheck records a parallel-vs-sequential exploration identity
@@ -153,6 +163,7 @@ func main() {
 	f.Workloads = append(f.Workloads, frontierWorkload(30))
 	f.Workloads = append(f.Workloads, backendMatrixWorkloads(sweepN)...)
 	f.Workloads = append(f.Workloads, largeNWorkloads(largeNSide(*preset))...)
+	f.Workloads = append(f.Workloads, serveBatchWorkload(30))
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -497,6 +508,74 @@ func frontierWorkload(n int) Result {
 		}
 		core.SetDefaultEvaluator(prev)
 	})
+}
+
+// serveBatchWorkload measures the evaluation service's HTTP serving path:
+// an in-process server (internal/service over a fresh engine) answering
+// POST /v1/batch sweeps over the paper's TIDS grid at size n. The cache is
+// warmed first, so the numbers isolate the wire overhead the service adds
+// per request — JSON round trips, admission control, dispatch — which is
+// the requests/sec trajectory a remote-sweep deployment rides on; p99
+// captures the tail under GOMAXPROCS concurrent clients.
+func serveBatchWorkload(n int) Result {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	cfgs := make([]core.Config, len(core.PaperTIDSGrid))
+	for i, tids := range core.PaperTIDSGrid {
+		cfgs[i] = cfg
+		cfgs[i].TIDS = tids
+	}
+
+	eng := engine.New(engine.Options{})
+	ts := httptest.NewServer(service.New(service.Options{Backend: eng}))
+	defer ts.Close()
+	const requests = 256
+	clients := runtime.GOMAXPROCS(0)
+	// Keep one idle connection per concurrent client (the transport
+	// default of 2 per host would close and re-dial connections under
+	// concurrency, and the workload would measure TCP churn instead of
+	// the service's dispatch cost).
+	hc := ts.Client()
+	if tr, ok := hc.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = clients
+	}
+	client := service.NewClient(ts.URL, hc)
+	ctx := context.Background()
+	if _, err := client.EvalBatch(ctx, cfgs); err != nil { // warm the cache
+		fatal(err)
+	}
+	latencies := make([]time.Duration, requests)
+	var failed atomic.Int64
+	start := time.Now()
+	core.ForEachIndexed(requests, clients, func(i int) {
+		t0 := time.Now()
+		if _, err := client.EvalBatch(ctx, cfgs); err != nil {
+			failed.Add(1)
+		}
+		latencies[i] = time.Since(t0)
+	})
+	wall := time.Since(start)
+	if failed.Load() > 0 {
+		fatal(fmt.Errorf("serve_batch: %d of %d requests failed", failed.Load(), requests))
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	r := Result{
+		Name:       "serve_batch",
+		N:          n,
+		Iterations: requests,
+		NsPerOp:    int64(total) / requests,
+		ReqPerSec:  float64(requests) / wall.Seconds(),
+		P99Ns:      int64(sorted[requests*99/100]),
+	}
+	fmt.Printf("%-20s N=%-4d %12d ns/op  %8.0f req/s  p99 %s (%d-point warm batches, %d clients)\n",
+		r.Name, n, r.NsPerOp, r.ReqPerSec, time.Duration(r.P99Ns), len(cfgs), clients)
+	return r
 }
 
 // measure times fn with the testing benchmark harness and reports it.

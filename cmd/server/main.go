@@ -1,0 +1,116 @@
+// Command server runs the evaluation service daemon: the memoizing
+// evaluation engine behind the HTTP/JSON API of internal/service, with an
+// optional persistent result-cache snapshot for warm restarts.
+//
+// Usage:
+//
+//	server [-addr host:port] [-snapshot file] [-checkpoint interval]
+//	       [-inflight n] [-max-batch n] [-workers n]
+//	       [-cache-size n] [-prepared-mb mb]
+//
+// With -snapshot set, the server warm-starts its result cache from the
+// file at boot (a missing file is a normal cold boot; a stale-schema or
+// corrupt snapshot is logged and ignored — never silently reused), then
+// checkpoints the cache every -checkpoint interval and once more during
+// graceful shutdown (SIGINT/SIGTERM), so a replayed sweep after a restart
+// is served from cache instead of re-solved.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctmc"
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	snapshot := flag.String("snapshot", "", "result-cache snapshot file for warm restarts (empty = no persistence)")
+	checkpoint := flag.Duration("checkpoint", 5*time.Minute, "periodic snapshot interval (with -snapshot)")
+	inflight := flag.Int("inflight", 0, "max concurrently admitted eval/batch requests; excess gets 429 (0 = 4x GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 0, "max configurations per batch request (0 = 4096)")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 0, "result cache entries (0 = 4096)")
+	preparedMB := flag.Int64("prepared-mb", 0, "prepared-model cache budget in MiB (0 = 256)")
+	flag.Parse()
+	log.SetPrefix("server: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	// A typo'd REPRO_SOLVER must kill the daemon at boot, not surface as a
+	// per-request evaluation error that reads like a client mistake.
+	if err := ctmc.ValidateDefaultSolver(); err != nil {
+		log.Fatalf("refusing to start: %v", err)
+	}
+
+	eng := engine.New(engine.Options{
+		CacheSize:          *cacheSize,
+		PreparedCacheBytes: *preparedMB << 20,
+		Workers:            *workers,
+	})
+
+	var ckpt *persist.Checkpointer
+	if *snapshot != "" {
+		n, err := persist.WarmStart(eng, *snapshot)
+		switch {
+		case errors.Is(err, persist.ErrStaleSchema), errors.Is(err, persist.ErrCorrupt):
+			log.Printf("ignoring unusable snapshot, booting cold: %v", err)
+		case err != nil:
+			log.Printf("snapshot unreadable, booting cold: %v", err)
+		case n > 0:
+			log.Printf("warm start: %d cached results restored from %s", n, *snapshot)
+		default:
+			log.Printf("cold start: no snapshot at %s yet", *snapshot)
+		}
+		ckpt = persist.NewCheckpointer(eng, *snapshot, *checkpoint)
+		ckpt.Start(func(err error) { log.Printf("checkpoint failed: %v", err) })
+	}
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: service.New(service.Options{
+			Backend:        eng,
+			MaxInflight:    *inflight,
+			MaxBatchPoints: *maxBatch,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and write
+	// the final checkpoint so the next boot is warm.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (snapshot=%q)", *addr, *snapshot)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if ckpt != nil {
+		if err := ckpt.Stop(); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		} else {
+			log.Printf("final checkpoint written to %s", *snapshot)
+		}
+	}
+	st := eng.Stats()
+	log.Printf("served %s", st.String())
+}

@@ -1,20 +1,43 @@
 // Quickstart: evaluate the default configuration (the paper's Section 5
-// environment, scaled to N=40 so it runs in about a second) and print the
-// two headline metrics with their supporting detail.
+// environment, scaled down so it runs in about a second) and print the two
+// headline metrics with their supporting detail.
+//
+// With -server it runs the same analysis against a running evaluation
+// server (cmd/server) over the HTTP/JSON API instead of solving in
+// process: the TIDS sweep goes through repro.Client.EvalBatch and the
+// closing line reports how much of it the server answered from its
+// (possibly snapshot-warmed) cache. The CI smoke job drives this mode
+// twice around a server restart and asserts the second run is served warm.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
-	cfg := repro.DefaultConfig()
-	cfg.N = 40 // paper uses 100; 40 keeps this demo under a second
+	server := flag.String("server", "", "base URL of a running cmd/server (empty = evaluate in process)")
+	n := flag.Int("n", 40, "group size N (paper uses 100; 40 keeps the demo fast)")
+	flag.Parse()
 
-	res, err := repro.Analyze(cfg)
+	cfg := repro.DefaultConfig()
+	cfg.N = *n
+
+	var (
+		res *repro.Result
+		opt *repro.Optimum
+		err error
+	)
+	if *server == "" {
+		res, opt, err = runLocal(cfg)
+	} else {
+		res, opt, err = runRemote(*server, cfg)
+	}
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
@@ -32,12 +55,62 @@ func main() {
 	fmt.Printf("how missions end: %.0f%% data leak (C1), %.0f%% byzantine takeover (C2)\n",
 		100*res.ProbC1, 100*res.ProbC2)
 	fmt.Println()
+	fmt.Printf("optimal TIDS on the paper's grid: %.0f s (MTTSF %.4g s, %+.0f%% vs current)\n",
+		opt.TIDS, opt.Result.MTTSF, 100*(opt.Result.MTTSF/res.MTTSF-1))
+}
 
+// runLocal evaluates in process through the default memoizing engine.
+func runLocal(cfg repro.Config) (*repro.Result, *repro.Optimum, error) {
+	res, err := repro.Analyze(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	// The design question: which detection interval maximizes survival?
 	opt, err := repro.OptimalTIDSForMTTSF(cfg, repro.PaperTIDSGrid)
 	if err != nil {
-		log.Fatalf("quickstart: %v", err)
+		return nil, nil, err
 	}
-	fmt.Printf("optimal TIDS on the paper's grid: %.0f s (MTTSF %.4g s, %+.0f%% vs current)\n",
-		opt.TIDS, opt.Result.MTTSF, 100*(opt.Result.MTTSF/res.MTTSF-1))
+	return res, opt, nil
+}
+
+// runRemote runs the identical analysis against a server: one batch over
+// the paper's TIDS grid (plus the configured point), optimum picked
+// client-side, and a stats line showing how warm the server's cache was.
+func runRemote(baseURL string, cfg repro.Config) (*repro.Result, *repro.Optimum, error) {
+	client := repro.NewClient(baseURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := client.Health(ctx); err != nil {
+		return nil, nil, fmt.Errorf("server not healthy: %w", err)
+	}
+
+	cfgs := []repro.Config{cfg}
+	for _, tids := range repro.PaperTIDSGrid {
+		c := cfg
+		c.TIDS = tids
+		cfgs = append(cfgs, c)
+	}
+	results, err := client.EvalBatch(ctx, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := results[0]
+	opt := &repro.Optimum{}
+	for i, r := range results[1:] {
+		if opt.Result == nil || r.MTTSF > opt.Result.MTTSF {
+			opt.TIDS = repro.PaperTIDSGrid[i]
+			opt.Result = r
+		}
+	}
+
+	if st, err := client.Stats(ctx); err == nil {
+		lookups := st.Engine.Hits + st.Engine.Misses
+		warm := 0.0
+		if lookups > 0 {
+			warm = 100 * float64(st.Engine.Hits) / float64(lookups)
+		}
+		fmt.Printf("server %s: evals=%d hits=%d lookups=%d (%.0f%% warm), %d cached results\n",
+			baseURL, st.Engine.Evals, st.Engine.Hits, lookups, warm, st.Engine.Entries)
+	}
+	return res, opt, nil
 }

@@ -124,10 +124,11 @@ func (d Direct) EvalBatch(cfgs []Config) ([]*Result, error) {
 	return RunBatch(cfgs, d.Workers, d.Eval)
 }
 
-// forEachIndexed runs fn(i) for every i in [0, n) over at most workers
+// ForEachIndexed runs fn(i) for every i in [0, n) over at most workers
 // goroutines (0 means GOMAXPROCS) — the one bounded indexed fan-out every
-// batch driver in this package shares.
-func forEachIndexed(n, workers int, fn func(int)) {
+// batch driver shares (RunBatch, the warm design-space pair chains, the
+// evaluation service's per-point batch dispatch, bench client pools).
+func ForEachIndexed(n, workers int, fn func(int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -158,7 +159,7 @@ func forEachIndexed(n, workers int, fn func(int)) {
 func RunBatch(cfgs []Config, workers int, eval func(Config) (*Result, error)) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
-	forEachIndexed(len(cfgs), workers, func(i int) {
+	ForEachIndexed(len(cfgs), workers, func(i int) {
 		results[i], errs[i] = eval(cfgs[i])
 	})
 	var joined error

@@ -119,7 +119,7 @@ func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]De
 	}
 	chains := make([][]SweepPoint, len(pairs))
 	errs := make([]error, len(pairs))
-	forEachIndexed(len(pairs), evaluatorWorkers(), func(i int) {
+	ForEachIndexed(len(pairs), evaluatorWorkers(), func(i int) {
 		c := cfg
 		c.M = pairs[i].m
 		c.Detection = pairs[i].k

@@ -105,20 +105,56 @@ const SolverEnvVar = "REPRO_SOLVER"
 // defaultBackend resolves the process-default backend once: $REPRO_SOLVER
 // when set to a registered name, otherwise "auto".
 var defaultBackend = sync.OnceValue(func() SolverBackend {
-	if name := os.Getenv(SolverEnvVar); name != "" {
-		if b, err := SolverBackendByName(name); err == nil {
-			return b
-		}
-		fmt.Fprintf(os.Stderr, "ctmc: ignoring unknown %s=%q (have %v)\n",
-			SolverEnvVar, name, SolverBackendNames())
-	}
-	b, _ := SolverBackendByName(BackendAuto)
-	return b
+	return backendForEnv(os.Getenv(SolverEnvVar))
 })
 
+// backendForEnv maps a REPRO_SOLVER value onto the process-default backend.
+// An unrecognized value does NOT fall back silently: it yields a backend
+// whose every Solve fails with the full list of registered names, so a
+// typo'd deployment fails loudly at the first solve instead of quietly
+// running a different solver than the operator asked for.
+func backendForEnv(name string) SolverBackend {
+	if name == "" {
+		b, _ := SolverBackendByName(BackendAuto)
+		return b
+	}
+	b, err := SolverBackendByName(name)
+	if err != nil {
+		return invalidEnvBackend{name: name}
+	}
+	return b
+}
+
+// invalidEnvBackend is the loud-failure stand-in for an unrecognized
+// $REPRO_SOLVER value.
+type invalidEnvBackend struct{ name string }
+
+func (b invalidEnvBackend) Name() string { return "invalid:" + b.name }
+
+func (b invalidEnvBackend) Solve(*SolveContext) (linalg.Vector, error) {
+	return nil, fmt.Errorf("ctmc: %s=%q does not name a registered solver backend (have %v); fix or unset it",
+		SolverEnvVar, b.name, SolverBackendNames())
+}
+
 // DefaultSolverBackend returns the backend chains without an explicit
-// SetSolver use: $REPRO_SOLVER if it names a registered backend, else auto.
+// SetSolver use: auto when $REPRO_SOLVER is unset, the named backend when
+// it is registered, and a backend that fails every solve with a
+// descriptive error when it is not.
 func DefaultSolverBackend() SolverBackend { return defaultBackend() }
+
+// ValidateDefaultSolver reports whether the process-default solver
+// resolution is usable, without performing a solve: the error a typo'd
+// $REPRO_SOLVER would otherwise surface on the first solve. Long-lived
+// daemons (cmd/server) call it at boot, so a misconfigured deployment
+// fails at startup instead of answering every request with the same
+// solver error.
+func ValidateDefaultSolver() error {
+	if b, ok := DefaultSolverBackend().(invalidEnvBackend); ok {
+		_, err := b.Solve(nil)
+		return err
+	}
+	return nil
+}
 
 // Registered backend names.
 const (

@@ -1,0 +1,47 @@
+package ctmc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnvSolverResolution pins the $REPRO_SOLVER mapping: empty selects
+// auto, a registered name selects that backend.
+func TestEnvSolverResolution(t *testing.T) {
+	if got := backendForEnv("").Name(); got != BackendAuto {
+		t.Errorf("empty %s resolved to %q, want %q", SolverEnvVar, got, BackendAuto)
+	}
+	for _, name := range SolverBackendNames() {
+		if got := backendForEnv(name).Name(); got != name {
+			t.Errorf("%s=%q resolved to %q", SolverEnvVar, name, got)
+		}
+	}
+}
+
+// TestUnknownEnvSolverFailsLoudly is the regression test for the silent
+// fallback: an unrecognized $REPRO_SOLVER value must fail the first solve
+// with an error naming the variable, the bad value, and every registered
+// backend — not quietly run "auto" while the operator believes otherwise.
+func TestUnknownEnvSolverFailsLoudly(t *testing.T) {
+	bad := backendForEnv("no-such-solver")
+
+	// Directly: Solve fails with a self-explanatory error.
+	_, err := bad.Solve(&SolveContext{})
+	if err == nil {
+		t.Fatalf("%s=no-such-solver solved without error; the silent-fallback bug is back", SolverEnvVar)
+	}
+	for _, want := range append(SolverBackendNames(), SolverEnvVar, "no-such-solver") {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// Through a chain: the first transient solve surfaces the same error.
+	chain := chainFromEdges(3, [][3]float64{{0, 1, 1}, {1, 2, 1}})
+	chain.SetSolver(bad)
+	if _, err := chain.Solve(0); err == nil {
+		t.Fatal("chain with an unrecognized env solver solved without error")
+	} else if !strings.Contains(err.Error(), SolverEnvVar) {
+		t.Errorf("chain solve error %q does not mention %s", err, SolverEnvVar)
+	}
+}

@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -178,18 +179,92 @@ func Default() *Engine { return defaultEngine }
 // Eval evaluates one configuration, serving repeats from cache. The
 // returned Result is the caller's own copy.
 func (e *Engine) Eval(cfg core.Config) (*core.Result, error) {
+	return e.EvalContext(context.Background(), cfg)
+}
+
+// EvalContext is Eval with cancellation: a canceled context stops the
+// caller from starting a new model evaluation (the expensive part — graph
+// exploration plus the transient solve) and abandons any wait on an
+// in-flight evaluation of the same point. An evaluation already underway
+// runs to completion and is cached — the work is done either way, and a
+// concurrent live caller may be waiting on it — so cancellation is
+// observed at point granularity, which is what lets a server stop burning
+// solver time on the remaining points of an abandoned batch.
+func (e *Engine) EvalContext(ctx context.Context, cfg core.Config) (*core.Result, error) {
 	key := Fingerprint(cfg)
-	return e.evalShared(key, cfg, func() (*core.Result, error) {
+	return e.evalShared(ctx, key, cfg, func() (*core.Result, error) {
 		return e.evaluate(key, cfg)
 	})
 }
 
-// evalShared is the cache/in-flight spine both Eval and EvalWith run
-// through: serve a recorded Result, join an in-flight evaluation of the
-// same point, or register one and run compute. Every miss path shares it,
-// so the "each unique point evaluated exactly once" invariant holds
-// across concurrent Evals, batches, and warm sweeps alike.
-func (e *Engine) evalShared(key string, cfg core.Config, compute func() (*core.Result, error)) (*core.Result, error) {
+// Cached returns cfg's memoized Result when one is recorded, without
+// evaluating, joining an in-flight evaluation, or counting a miss — a
+// pure probe for callers that gate expensive-path resources (the HTTP
+// service's solve semaphore) and must not charge cache hits against
+// them. A found Result counts as a hit and is the caller's own copy.
+func (e *Engine) Cached(cfg core.Config) (*core.Result, bool) {
+	key := Fingerprint(cfg)
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	v, ok := sh.results.get(key)
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e.hits.Add(1)
+	r := v.(core.Result)
+	r.Config = cfg
+	return &r, true
+}
+
+// JoinInflight joins an in-flight evaluation of cfg when one is underway
+// (or serves the point if it completed in the meantime), returning
+// joined=false immediately otherwise. It lets callers that meter fresh
+// solver work — the HTTP service's solve semaphore — wait on someone
+// else's evaluation without consuming solve capacity: duplicate cold
+// points across concurrent batches then pin one solve slot, not one per
+// waiter. A join that ends in the computing caller's error reports that
+// error, exactly like joining through EvalContext.
+func (e *Engine) JoinInflight(ctx context.Context, cfg core.Config) (res *core.Result, joined bool, err error) {
+	key := Fingerprint(cfg)
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if v, ok := sh.results.get(key); ok {
+		sh.mu.Unlock()
+		e.hits.Add(1)
+		r := v.(core.Result)
+		r.Config = cfg
+		return &r, true, nil
+	}
+	c, ok := sh.inflight[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
+	if c.err != nil {
+		return nil, true, c.err
+	}
+	e.hits.Add(1)
+	r := c.res
+	r.Config = cfg
+	return &r, true, nil
+}
+
+// evalShared is the cache/in-flight spine Eval, EvalContext, and EvalWith
+// run through: serve a recorded Result, join an in-flight evaluation of
+// the same point, or register one and run compute. Every miss path shares
+// it, so the "each unique point evaluated exactly once" invariant holds
+// across concurrent Evals, batches, and warm sweeps alike. The context
+// gates only this caller: it is checked before a fresh evaluation is
+// registered and while waiting on someone else's, never mid-compute, so a
+// canceled caller can never poison the shared in-flight outcome for live
+// ones.
+func (e *Engine) evalShared(ctx context.Context, key string, cfg core.Config, compute func() (*core.Result, error)) (*core.Result, error) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
 	if v, ok := sh.results.get(key); ok {
@@ -201,7 +276,11 @@ func (e *Engine) evalShared(key string, cfg core.Config, compute func() (*core.R
 	}
 	if c, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if c.err != nil {
 			return nil, c.err
 		}
@@ -209,6 +288,10 @@ func (e *Engine) evalShared(key string, cfg core.Config, compute func() (*core.R
 		r := c.res
 		r.Config = cfg
 		return &r, nil
+	}
+	if err := ctx.Err(); err != nil {
+		sh.mu.Unlock()
+		return nil, err
 	}
 	c := &inflightCall{done: make(chan struct{})}
 	sh.inflight[key] = c
@@ -286,7 +369,7 @@ func (e *Engine) Prepared(cfg core.Config) (*core.Prepared, error) {
 // prepared model surviving the byte-budgeted LRU. A fully cached sweep
 // thus re-solves nothing.
 func (e *Engine) EvalWith(cfg core.Config, prepare func() (*core.Prepared, error)) (*core.Result, error) {
-	return e.evalShared(Fingerprint(cfg), cfg, func() (*core.Result, error) {
+	return e.evalShared(context.Background(), Fingerprint(cfg), cfg, func() (*core.Result, error) {
 		p, err := prepare()
 		if err != nil {
 			return nil, err
@@ -300,7 +383,17 @@ func (e *Engine) EvalWith(cfg core.Config, prepare func() (*core.Prepared, error
 // worker pool, preserving order. Duplicate points within a batch collapse
 // onto one evaluation through the in-flight map.
 func (e *Engine) EvalBatch(cfgs []core.Config) ([]*core.Result, error) {
-	return core.RunBatch(cfgs, e.workers, e.Eval)
+	return e.EvalBatchContext(context.Background(), cfgs)
+}
+
+// EvalBatchContext is EvalBatch with cancellation: every worker checks the
+// context before starting its next point, so canceling an abandoned batch
+// stops new solves immediately (points already mid-solve finish and are
+// cached). Canceled points report ctx.Err() in the joined error.
+func (e *Engine) EvalBatchContext(ctx context.Context, cfgs []core.Config) ([]*core.Result, error) {
+	return core.RunBatch(cfgs, e.workers, func(cfg core.Config) (*core.Result, error) {
+		return e.EvalContext(ctx, cfg)
+	})
 }
 
 // WorkerBound reports the engine's batch-parallelism cap, so core's

@@ -82,6 +82,15 @@ func (c *lruCache) remove(el *list.Element) {
 	c.bytes -= e.size
 }
 
+// each calls fn for every live entry from least to most recently used, so
+// replaying the sequence through add reproduces the recency order.
+func (c *lruCache) each(fn func(key string, value any)) {
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry)
+		fn(e.key, e.value)
+	}
+}
+
 // len returns the number of live entries.
 func (c *lruCache) len() int { return c.order.Len() }
 

@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Checkpointer periodically snapshots an engine's result cache to disk and
+// performs one final snapshot on Stop — the shutdown hook cmd/server wires
+// to SIGTERM, so a drained server leaves a warm cache behind for the next
+// boot. Saves are skipped while the cache contents are unchanged (same
+// eval/eviction counters), keeping an idle server from rewriting an
+// identical file every interval.
+type Checkpointer struct {
+	engine   *engine.Engine
+	path     string
+	interval time.Duration
+
+	mu        sync.Mutex // serializes saves; guards lastStamp
+	lastStamp [2]uint64  // (Evals, Evictions) at the last successful save
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCheckpointer builds a checkpointer writing e's cache to path every
+// interval (minimum 1s; zero or negative selects 5 minutes). Call Start to
+// begin the periodic loop and Stop for the final flush.
+func NewCheckpointer(e *engine.Engine, path string, interval time.Duration) *Checkpointer {
+	if interval <= 0 {
+		interval = 5 * time.Minute
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	return &Checkpointer{
+		engine:   e,
+		path:     path,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the periodic checkpoint loop (at most once). Save errors
+// are reported through onError (which may be nil) and do not stop the
+// loop — a full disk at one tick should not forfeit the final shutdown
+// snapshot.
+func (c *Checkpointer) Start(onError func(error)) {
+	if c.started.Swap(true) {
+		return
+	}
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := c.save(false); err != nil && onError != nil {
+					onError(err)
+				}
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic loop (if Start ever ran) and writes one final
+// snapshot, returning the final save's error. It is idempotent; only the
+// first call saves. Safe to call without Start.
+func (c *Checkpointer) Stop() error {
+	var err error
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		if c.started.Load() {
+			<-c.done
+		}
+		err = c.save(true)
+	})
+	return err
+}
+
+// Save forces an immediate snapshot regardless of staleness tracking.
+func (c *Checkpointer) Save() error { return c.save(true) }
+
+// save snapshots the cache; unless forced, an unchanged cache (same eval
+// and eviction counters as the last successful save) is skipped.
+func (c *Checkpointer) save(force bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.engine.Stats()
+	stamp := [2]uint64{st.Evals, st.Evictions}
+	if !force && stamp == c.lastStamp {
+		return nil
+	}
+	if err := SaveEngine(c.engine, c.path); err != nil {
+		return err
+	}
+	c.lastStamp = stamp
+	return nil
+}

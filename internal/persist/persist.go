@@ -1,0 +1,182 @@
+// Package persist stores the evaluation engine's result cache on disk, so
+// a restarted process serves yesterday's sweeps from a warm cache instead
+// of re-solving them. It owns only bytes and their integrity; cache
+// semantics stay in internal/engine (SnapshotEntries / RestoreEntries).
+//
+// The file format is defensive by construction:
+//
+//	[8]byte  magic "REPROSNP"
+//	uint32   format version (big endian)
+//	uint32   schema length, then the engine.SchemaFingerprint bytes
+//	uint64   payload length, then the gob-encoded []engine.SnapshotEntry
+//	uint64   CRC-64/ECMA of the payload
+//
+// A snapshot whose schema fingerprint differs from the running process's —
+// any change to core.Config, cost.Params, or core.Result, or a bump of the
+// fingerprint contract itself — is rejected with ErrStaleSchema, never
+// silently reused: its keys could alias different configurations under the
+// new schema, and warm-loading them would serve wrong answers forever. A
+// truncated or bit-flipped file fails the length or CRC checks with
+// ErrCorrupt. Callers treat both as "boot cold", not as fatal.
+//
+// Saves are atomic (temp file in the same directory, fsync, rename), so a
+// crash mid-checkpoint leaves the previous snapshot intact.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+)
+
+var magic = [8]byte{'R', 'E', 'P', 'R', 'O', 'S', 'N', 'P'}
+
+// formatVersion is the container-format version; bump on any layout change
+// of the file itself (schema changes are caught by the fingerprint).
+const formatVersion = 1
+
+var (
+	// ErrStaleSchema marks a structurally intact snapshot written under a
+	// different fingerprint schema; it must be discarded, not loaded.
+	ErrStaleSchema = errors.New("persist: snapshot schema is stale")
+	// ErrCorrupt marks a snapshot that fails the structural or checksum
+	// validation (truncation, bit flips, foreign files).
+	ErrCorrupt = errors.New("persist: snapshot is corrupt")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Save writes entries as a snapshot at path, atomically replacing any
+// previous file. The header records the running process's schema
+// fingerprint, so only a schema-identical process will load it back.
+func Save(path string, entries []engine.SnapshotEntry) error {
+	return saveWithSchema(path, engine.SchemaFingerprint(), entries)
+}
+
+// saveWithSchema is Save with an explicit schema string; the stale-schema
+// tests write deliberately mismatched files through it.
+func saveWithSchema(path, schema string, entries []engine.SnapshotEntry) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(entries); err != nil {
+		return fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	binary.Write(&buf, binary.BigEndian, uint32(formatVersion))
+	binary.Write(&buf, binary.BigEndian, uint32(len(schema)))
+	buf.WriteString(schema)
+	binary.Write(&buf, binary.BigEndian, uint64(payload.Len()))
+	buf.Write(payload.Bytes())
+	binary.Write(&buf, binary.BigEndian, crc64.Checksum(payload.Bytes(), crcTable))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path. It returns ErrStaleSchema
+// for a snapshot written under a different fingerprint schema (or an
+// incompatible container version) and ErrCorrupt for structural or
+// checksum failures; both mean "discard and boot cold".
+func Load(path string) ([]engine.SnapshotEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(data)
+
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(r, gotMagic[:]); err != nil || gotMagic != magic {
+		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: truncated header in %s", ErrCorrupt, path)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: %s has container version %d, this build reads %d",
+			ErrStaleSchema, path, version, formatVersion)
+	}
+	var schemaLen uint32
+	if err := binary.Read(r, binary.BigEndian, &schemaLen); err != nil || int64(schemaLen) > int64(r.Len()) {
+		return nil, fmt.Errorf("%w: truncated schema in %s", ErrCorrupt, path)
+	}
+	schema := make([]byte, schemaLen)
+	if _, err := io.ReadFull(r, schema); err != nil {
+		return nil, fmt.Errorf("%w: truncated schema in %s", ErrCorrupt, path)
+	}
+	if want := engine.SchemaFingerprint(); string(schema) != want {
+		return nil, fmt.Errorf("%w: %s was written under schema %q, this build uses %q",
+			ErrStaleSchema, path, schema, want)
+	}
+	var payloadLen uint64
+	if err := binary.Read(r, binary.BigEndian, &payloadLen); err != nil || payloadLen > uint64(r.Len()) {
+		return nil, fmt.Errorf("%w: truncated payload in %s", ErrCorrupt, path)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload in %s", ErrCorrupt, path)
+	}
+	var sum uint64
+	if err := binary.Read(r, binary.BigEndian, &sum); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum in %s", ErrCorrupt, path)
+	}
+	if got := crc64.Checksum(payload, crcTable); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch in %s (stored %016x, computed %016x)",
+			ErrCorrupt, path, sum, got)
+	}
+
+	var entries []engine.SnapshotEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("%w: undecodable payload in %s: %v", ErrCorrupt, path, err)
+	}
+	return entries, nil
+}
+
+// SaveEngine snapshots e's result cache to path.
+func SaveEngine(e *engine.Engine, path string) error {
+	return Save(path, e.SnapshotEntries())
+}
+
+// WarmStart loads the snapshot at path into e's result cache and returns
+// how many entries were admitted. A missing file is a normal cold boot
+// (0, nil). A stale or corrupt snapshot returns its error with the engine
+// untouched — the caller logs it and boots cold; it must not be fatal,
+// since the snapshot is an optimization, not state of record.
+func WarmStart(e *engine.Engine, path string) (int, error) {
+	entries, err := Load(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return e.RestoreEntries(entries), nil
+}

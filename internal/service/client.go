@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ErrOverloaded reports a 429 from the server's admission control; the
+// request was never evaluated and can be retried after a backoff.
+var ErrOverloaded = errors.New("service: server overloaded")
+
+// Client evaluates configurations against a running evaluation server
+// (cmd/server) over its HTTP/JSON API. Results decode to exactly the
+// values an in-process engine returns for the same configurations —
+// encoding/json round-trips float64 losslessly — so swapping
+// repro.EvalBatch for Client.EvalBatch changes where the solve happens,
+// not what comes back. The zero value is not usable; construct with
+// NewClient. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient selects http.DefaultClient;
+// bound request lifetimes with contexts rather than client timeouts, since
+// a cold large-N batch can legitimately solve for minutes.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Analyze evaluates one configuration remotely (POST /v1/eval).
+func (c *Client) Analyze(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	var resp EvalResponse
+	if err := c.post(ctx, "/v1/eval", EvalRequest{Config: cfg}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("service: server returned no result")
+	}
+	return resp.Result, nil
+}
+
+// EvalBatch evaluates a batch remotely (POST /v1/batch), preserving order.
+// Like the engine's EvalBatch it returns partial results plus one joined
+// error when points fail, so it drops into the same call sites.
+func (c *Client) EvalBatch(ctx context.Context, cfgs []core.Config) ([]*core.Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	var resp BatchResponse
+	if err := c.post(ctx, "/v1/batch", BatchRequest{Configs: cfgs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(cfgs) {
+		return nil, fmt.Errorf("service: server returned %d results for %d configurations", len(resp.Results), len(cfgs))
+	}
+	if len(resp.Errors) != 0 && len(resp.Errors) != len(cfgs) {
+		return nil, fmt.Errorf("service: server returned %d per-point errors for %d configurations", len(resp.Errors), len(cfgs))
+	}
+	var pointErrs []error
+	for i, msg := range resp.Errors {
+		if msg != "" {
+			pointErrs = append(pointErrs,
+				fmt.Errorf("service: batch point %d (TIDS=%v, m=%d): %s", i, cfgs[i].TIDS, cfgs[i].M, msg))
+		}
+	}
+	return resp.Results, errors.Join(pointErrs...)
+}
+
+// Stats fetches the server's engine and service accounting (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get(ctx, "/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes GET /healthz; nil means the server is up and serving.
+func (c *Client) Health(ctx context.Context) error {
+	var resp map[string]string
+	return c.get(ctx, "/healthz", &resp)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("service: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%w (%s %s)", ErrOverloaded, req.Method, req.URL.Path)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

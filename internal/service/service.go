@@ -1,0 +1,375 @@
+// Package service is the evaluation service's HTTP/JSON front end: a
+// dependency-free net/http layer over the memoizing evaluation engine, so
+// sweeps run against a long-lived warm-cached server process instead of
+// re-linking the library per experiment. It contributes three things the
+// in-process engine does not have:
+//
+//   - a wire surface (POST /v1/eval, POST /v1/batch, GET /v1/stats,
+//     GET /healthz) whose request/response types round-trip core.Config
+//     and core.Result losslessly (encoding/json preserves float64 exactly),
+//     so remote results are equal to in-process ones;
+//   - admission control, bounded twice: at most MaxInflight eval/batch
+//     requests are admitted at once (everything beyond is rejected
+//     immediately with 429 and a Retry-After), and across all admitted
+//     requests at most WorkerBound point evaluations execute concurrently
+//     (a server-wide solve semaphore — admitted batches queue for solver
+//     capacity instead of multiplying it), so overload degrades into fast
+//     rejections and orderly queueing instead of a solve pile-up. Request
+//     bodies are size-capped (413) before any buffering.
+//   - cancellation: each request's context is plumbed down into the
+//     engine's EvalContext, so a client that disconnects stops burning
+//     solver time at the next point boundary.
+//
+// The matching Client lives in client.go; repro.NewClient re-exports it.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Backend is the evaluation surface the service fronts. *engine.Engine
+// implements it; tests substitute blocking fakes to exercise admission
+// control and cancellation without real solves.
+type Backend interface {
+	// EvalContext evaluates one configuration under a cancellable context.
+	EvalContext(ctx context.Context, cfg core.Config) (*core.Result, error)
+	// Cached probes for a memoized Result without evaluating, so the
+	// service can serve hits without charging them against solver
+	// capacity.
+	Cached(cfg core.Config) (*core.Result, bool)
+	// JoinInflight waits on an in-flight evaluation of cfg when one is
+	// underway (joined=true), so duplicate points across concurrent
+	// requests wait without consuming solve capacity; joined=false means
+	// the caller should evaluate itself.
+	JoinInflight(ctx context.Context, cfg core.Config) (res *core.Result, joined bool, err error)
+	// Stats snapshots the backend's cache accounting for GET /v1/stats.
+	Stats() engine.Stats
+	// WorkerBound caps per-batch evaluation parallelism (0 = GOMAXPROCS).
+	WorkerBound() int
+}
+
+// Options configures a Server.
+type Options struct {
+	// Backend evaluates requests; required (New panics on nil).
+	Backend Backend
+	// MaxInflight bounds concurrently admitted eval/batch requests;
+	// excess requests get 429 immediately. Default 4x GOMAXPROCS —
+	// enough admitted requests to keep the solve semaphore (bounded by
+	// the backend's WorkerBound) saturated by small batches without
+	// letting a traffic spike queue unbounded work.
+	MaxInflight int
+	// MaxBatchPoints bounds the configurations in one batch request
+	// (default 4096); larger batches get 400 and should be split.
+	MaxBatchPoints int
+	// MaxBodyBytes bounds a request body (default 64 MiB); larger
+	// payloads get 413 without being buffered, so oversized posts cannot
+	// OOM the daemon before MaxBatchPoints is even checked.
+	MaxBodyBytes int64
+}
+
+// Stats counts the service-level request traffic (the engine keeps its own
+// cache accounting; GET /v1/stats reports both).
+type Stats struct {
+	// Requests counts admitted eval/batch requests; Rejected counts 429s.
+	Requests uint64 `json:"requests"`
+	// Points counts evaluated configurations across all admitted requests.
+	Points uint64 `json:"points"`
+	// Rejected counts requests refused by admission control.
+	Rejected uint64 `json:"rejected"`
+	// Inflight is the number of requests currently holding an admission
+	// slot; MaxInflight is the cap.
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Server is the HTTP front end; it implements http.Handler.
+type Server struct {
+	backend  Backend
+	sem      chan struct{} // admission: whole requests
+	evalSem  chan struct{} // solver work: individual point evaluations
+	maxBatch int
+	maxBody  int64
+	mux      *http.ServeMux
+	started  time.Time
+
+	requests, points, rejected atomic.Uint64
+}
+
+// New constructs a Server over opts.Backend.
+func New(opts Options) *Server {
+	if opts.Backend == nil {
+		panic("service: Options.Backend is required")
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxBatchPoints <= 0 {
+		opts.MaxBatchPoints = 4096
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	workers := opts.Backend.WorkerBound()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		backend:  opts.Backend,
+		sem:      make(chan struct{}, opts.MaxInflight),
+		evalSem:  make(chan struct{}, workers),
+		maxBatch: opts.MaxBatchPoints,
+		maxBody:  opts.MaxBodyBytes,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats snapshots the service-level counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:      s.requests.Load(),
+		Points:        s.points.Load(),
+		Rejected:      s.rejected.Load(),
+		Inflight:      len(s.sem),
+		MaxInflight:   cap(s.sem),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+}
+
+// --- Wire types ---
+
+// EvalRequest is the POST /v1/eval body.
+type EvalRequest struct {
+	Config core.Config `json:"config"`
+}
+
+// EvalResponse is the POST /v1/eval success body.
+type EvalResponse struct {
+	Result *core.Result `json:"result"`
+}
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Configs []core.Config `json:"configs"`
+}
+
+// BatchResponse is the POST /v1/batch success body: Results[i] answers
+// Configs[i]. When any point failed, Errors is the same length with the
+// failing points' messages (empty string = point succeeded, Results[i]
+// set); an all-success batch omits Errors entirely.
+type BatchResponse struct {
+	Results []*core.Result `json:"results"`
+	Errors  []string       `json:"errors,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Engine  engine.Stats `json:"engine"`
+	Service Stats        `json:"service"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- Handlers ---
+
+// admit takes an admission slot, or answers 429 and returns false. The
+// slot covers a whole request from before its body is decoded, so
+// MaxInflight bounds every cost a request can impose — body buffering,
+// JSON parsing, validation, evaluation — and a rejected request costs the
+// server nothing beyond its headers. The separate evalSem (sized to the
+// backend's WorkerBound) bounds how many point evaluations across ALL
+// admitted requests actually run concurrently, so admitted batches queue
+// for solver capacity instead of multiplying it.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.requests.Add(1)
+		return true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			ErrorResponse{Error: fmt.Sprintf("service: %d requests already in flight; retry later", cap(s.sem))})
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// evalPoint runs one point evaluation under the server-wide solve
+// semaphore: across every admitted request at most WorkerBound
+// evaluations execute concurrently, the rest queue here (and leave the
+// queue immediately when their request is abandoned). Cache hits are
+// served before the semaphore, so a warm batch answers in microseconds
+// even while every solve slot is held by someone's long cold sweep.
+func (s *Server) evalPoint(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	if res, ok := s.backend.Cached(cfg); ok {
+		return res, nil
+	}
+	// A point someone else is already solving is waited on slot-free, so
+	// duplicate cold points across concurrent batches pin one solve slot
+	// total, not one per waiter. (A duplicate that slips past this check
+	// joins inside EvalContext while holding a slot — rare and bounded.)
+	if res, inflight, err := s.backend.JoinInflight(ctx, cfg); inflight {
+		return res, err
+	}
+	select {
+	case s.evalSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.evalSem }()
+	return s.backend.EvalContext(ctx, cfg)
+}
+
+// decodeBody decodes a size-capped JSON request body into v, answering
+// 413/400 itself and returning false when the request is unusable.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Error: fmt.Sprintf("service: request body exceeds the %d-byte limit; split the batch", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "service: undecodable request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	// Admission precedes even the body decode: under overload the server
+	// spends nothing on a rejected request beyond reading its headers.
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req EvalRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Config.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.points.Add(1)
+	res, err := s.evalPoint(r.Context(), req.Config)
+	if err != nil {
+		evalError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvalResponse{Result: res})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "service: batch has no configurations"})
+		return
+	}
+	if len(req.Configs) > s.maxBatch {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("service: batch of %d exceeds the %d-point limit; split it", len(req.Configs), s.maxBatch)})
+		return
+	}
+	for i, cfg := range req.Configs {
+		if err := cfg.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("service: batch point %d: %v", i, err)})
+			return
+		}
+	}
+	s.points.Add(uint64(len(req.Configs)))
+
+	// Per-point fan-out with per-point errors kept addressable (the
+	// engine's EvalBatchContext joins them into one error, which a remote
+	// client cannot map back onto points). Concurrency is bounded twice:
+	// this request spawns at most cap(evalSem) workers, and evalPoint
+	// serializes against every other admitted request's points.
+	results := make([]*core.Result, len(req.Configs))
+	errs := make([]error, len(req.Configs))
+	ctx := r.Context()
+	core.ForEachIndexed(len(req.Configs), cap(s.evalSem), func(i int) {
+		results[i], errs[i] = s.evalPoint(ctx, req.Configs[i])
+	})
+
+	if err := ctx.Err(); err != nil {
+		// Client is gone; nothing useful to write.
+		evalError(w, r, err)
+		return
+	}
+	resp := BatchResponse{Results: results}
+	for i, err := range errs {
+		if err != nil {
+			if resp.Errors == nil {
+				resp.Errors = make([]string, len(req.Configs))
+			}
+			resp.Errors[i] = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{Engine: s.backend.Stats(), Service: s.Stats()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// evalError maps an evaluation failure onto a status: cancellation (the
+// client hung up or timed out) gets 499-style treatment via 503, anything
+// else is a 422 — the request was well-formed JSON but the model could
+// not evaluate it (exploration bound exceeded, no absorbing states, ...),
+// which is a property of the submitted configuration. Server-side
+// misconfiguration that would fail every request identically (a typo'd
+// REPRO_SOLVER) is ruled out at daemon boot by ctmc.ValidateDefaultSolver,
+// so it cannot masquerade as client error here.
+func evalError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusUnprocessableEntity
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past the header are unreportable; the client sees a
+	// truncated body and fails its decode.
+	_ = json.NewEncoder(w).Encode(v)
+}
