@@ -339,6 +339,57 @@ func SensitivityAnalysis(cfg Config, rel float64) ([]Sensitivity, error) {
 	return core.SensitivityAnalysis(cfg, rel)
 }
 
+// --- Incremental re-solve and forward sensitivities ---
+
+// DeltaKind classifies a configuration diff for the incremental re-solve
+// path: identical, rate-only (patch + re-solve on the cached generator
+// pattern), or structural (full re-prepare required).
+type DeltaKind = core.DeltaKind
+
+// Delta classifications.
+const (
+	DeltaNone       = core.DeltaNone
+	DeltaRateOnly   = core.DeltaRateOnly
+	DeltaStructural = core.DeltaStructural
+)
+
+// ClassifyDelta classifies the diff between two configurations.
+func ClassifyDelta(a, b Config) DeltaKind { return core.ClassifyDelta(a, b) }
+
+// StructuralKey returns the canonical key of a configuration's structural
+// family: configurations with equal keys that ClassifyDelta calls rate-only
+// share one reachability graph and generator pattern.
+func StructuralKey(cfg Config) string { return core.StructuralKey(cfg) }
+
+// EvalBatchIncremental evaluates a batch through the incremental re-solve
+// path: points are grouped by structural family and each family is walked
+// sequentially, patching the cached generator in place and re-solving
+// through the family's reused factorization instead of re-preparing per
+// point. Results are tolerance-identical to EvalBatch.
+func EvalBatchIncremental(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	return engine.Default().EvalBatchIncremental(ctx, cfgs)
+}
+
+// ParamSensitivity is one parameter's forward sensitivity: dMTTSF/dθ and
+// the elasticity it implies, computed from the cached factorization by one
+// extra linear solve (see Result.Sensitivities).
+type ParamSensitivity = core.ParamSensitivity
+
+// SensitivityParams lists the parameter keys forward sensitivities can
+// differentiate by.
+func SensitivityParams() []string { return core.SensitivityParams() }
+
+// GradOptimum is the result of a gradient-guided TIDS search.
+type GradOptimum = core.GradOptimum
+
+// GradientOptimalTIDS locates the MTTSF-maximizing detection interval in
+// [lo, hi] by bisecting the sign of the forward sensitivity dMTTSF/dTIDS in
+// log space, probing through the incremental patch+re-solve path instead of
+// a full prepare per point. tol is the relative bracket width (0 = 1%).
+func GradientOptimalTIDS(cfg Config, lo, hi, tol float64) (*GradOptimum, error) {
+	return core.GradientOptimalTIDS(cfg, lo, hi, tol)
+}
+
 // --- Runtime adaptation ---
 
 // ClassifyAttacker infers the attacker strength function from observed

@@ -72,6 +72,7 @@ func main() {
 			log.Printf("cold start: no snapshot at %s yet", *snapshot)
 		}
 		ckpt = persist.NewCheckpointer(eng, *snapshot, *checkpoint)
+		ckpt.Logf = log.Printf
 		ckpt.Start(func(err error) { log.Printf("checkpoint failed: %v", err) })
 	}
 
@@ -113,4 +114,6 @@ func main() {
 	}
 	st := eng.Stats()
 	log.Printf("served %s", st.String())
+	log.Printf("incremental: %d patched solves, %d refactorizations, %d structural re-prepares",
+		st.PatchedSolves, st.Refactorizations, st.StructuralRepreps)
 }

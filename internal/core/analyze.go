@@ -45,6 +45,15 @@ type Result struct {
 	// MissionEnergyJ is Power integrated over the expected mission
 	// lifetime (joules).
 	MissionEnergyJ float64
+
+	// Sensitivities, when present, are forward-sensitivity gradients of
+	// MTTSF with respect to the continuous model parameters (see
+	// Prepared.ForwardSensitivities). Standard evaluation paths leave it
+	// empty; the gradient-guided searches and the sensitivity bench
+	// workload attach it. Adding this field changes the snapshot schema
+	// fingerprint, so pre-existing result-cache snapshots are rejected as
+	// stale — by design, never silently reused.
+	Sensitivities []ParamSensitivity `json:",omitempty"`
 }
 
 // Analyze builds the SPN for cfg, solves the underlying CTMC exactly once,

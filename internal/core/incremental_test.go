@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ctmc"
+)
+
+// incrementalTestGrid is the rate-only neighbourhood the patch+re-solve
+// property walks: detection-interval moves of every size (tiny nudges and
+// order-of-magnitude jumps) plus attacker/churn rate changes.
+func incrementalTestGrid(base Config) []Config {
+	var out []Config
+	for _, tids := range []float64{5, 15, 120, 125, 480, 1200, 30} {
+		c := base
+		c.TIDS = tids
+		out = append(out, c)
+	}
+	c := base
+	c.LambdaC *= 3
+	out = append(out, c)
+	c = base
+	c.PartitionRate *= 2
+	c.MergeRate *= 0.5
+	out = append(out, c)
+	c = base
+	c.P1, c.P2 = 0.03, 0.002
+	c.M = 7
+	out = append(out, c)
+	return out
+}
+
+// TestPatchedResolveMatchesFullPrepare is the tentpole property: under
+// every registered solver backend — and under both solve tiers, the exact
+// block-triangular sweep and the frozen-ILU Krylov fallback it shadows —
+// evaluating a rate-only neighbourhood through one PreparedDelta session
+// (re-rate, in-place generator patch, incremental re-solve) reproduces the
+// full re-prepare's dense-LU ground truth at every point to 1e-10.
+func TestPatchedResolveMatchesFullPrepare(t *testing.T) {
+	for _, disableDirect := range []bool{false, true} {
+		tier := "direct"
+		if disableDirect {
+			tier = "krylov"
+		}
+		for _, name := range ctmc.SolverBackendNames() {
+			base := DefaultConfig()
+			base.N = 10
+			base.Solver = name
+			donor, err := Prepare(base)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tier, name, err)
+			}
+			pd, err := NewPreparedDelta(donor)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tier, name, err)
+			}
+			pd.pc.DisableDirect = disableDirect
+			for pi, cfg := range incrementalTestGrid(base) {
+				p, err := pd.Prepared(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s point %d: %v", tier, name, pi, err)
+				}
+				sol, err := p.Solution()
+				if err != nil {
+					t.Fatalf("%s/%s point %d: %v", tier, name, pi, err)
+				}
+				y := sol.SojournTimes()
+				full, err := Prepare(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s point %d: %v", tier, name, pi, err)
+				}
+				want := denseSojournReference(t, full)
+				scale := 1 + want.NormInf()
+				for i := range want {
+					if d := y[i] - want[i]; d > 1e-10*scale || d < -1e-10*scale {
+						t.Fatalf("%s/%s point %d: patched sojourn[%d] = %g, dense LU %g (diff %g)",
+							tier, name, pi, i, y[i], want[i], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPatchedResolveForcedRefactor pins the preconditioner-drift budget of
+// the Krylov tier (forced via DisableDirect — the exact tier never consults
+// the frozen factors): a 240x detection-rate jump (TIDS 5 -> 1200) drifts
+// the patched generator far past the frozen ILU(0) factors' budget, forcing
+// a refactorization — and the refactored solve still lands on the dense-LU
+// answer.
+func TestPatchedResolveForcedRefactor(t *testing.T) {
+	base := DefaultConfig()
+	base.N = 10
+	base.TIDS = 5
+	base.Solver = ctmc.BackendILUBiCGSTAB
+	donor, err := Prepare(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewPreparedDelta(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd.pc.DisableDirect = true
+	before := ctmc.Refactorizations()
+	far := base
+	far.TIDS = 1200
+	p, err := pd.Prepared(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctmc.Refactorizations(); got == before {
+		t.Fatalf("240x rate jump did not force a refactorization (count still %d)", got)
+	}
+	sol, err := p.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := sol.SojournTimes()
+	full, err := Prepare(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseSojournReference(t, full)
+	scale := 1 + want.NormInf()
+	for i := range want {
+		if d := y[i] - want[i]; d > 1e-10*scale || d < -1e-10*scale {
+			t.Fatalf("post-refactor sojourn[%d] = %g, dense LU %g", i, y[i], want[i])
+		}
+	}
+}
+
+// TestPreparedDeltaStructuralFallback pins the fallback contract: a
+// structural delta (different N; a rate zero-crossing) is refused with
+// ErrStructuralDelta and counted, and the session stays anchored and usable
+// for later rate-only points.
+func TestPreparedDeltaStructuralFallback(t *testing.T) {
+	base := DefaultConfig()
+	base.N = 10
+	donor, err := Prepare(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewPreparedDelta(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := StructuralRepreps()
+	grown := base
+	grown.N = 12
+	if _, err := pd.Prepared(grown); !errors.Is(err, ErrStructuralDelta) {
+		t.Fatalf("N change returned %v, want ErrStructuralDelta", err)
+	}
+	crossing := base
+	crossing.PartitionRate = 0
+	crossing.MergeRate = 0
+	if _, err := pd.Prepared(crossing); !errors.Is(err, ErrStructuralDelta) {
+		t.Fatalf("rate zero-crossing returned %v, want ErrStructuralDelta", err)
+	}
+	if got := StructuralRepreps(); got != before+2 {
+		t.Fatalf("structural re-prepare counter moved %d -> %d, want +2", before, got)
+	}
+
+	// The refusals must not have corrupted the session.
+	after := base
+	after.TIDS = 480
+	p, err := pd.Prepared(after)
+	if err != nil {
+		t.Fatalf("session unusable after structural refusals: %v", err)
+	}
+	sol, err := p.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Prepare(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseSojournReference(t, full)
+	y := sol.SojournTimes()
+	scale := 1 + want.NormInf()
+	for i := range want {
+		if d := y[i] - want[i]; d > 1e-10*scale || d < -1e-10*scale {
+			t.Fatalf("post-refusal sojourn[%d] = %g, dense LU %g", i, y[i], want[i])
+		}
+	}
+}
+
+// TestIncrementalSweepMatchesCold pins the SweepOpts seam end to end: an
+// incremental sweep returns the same metrics as an independent cold sweep.
+func TestIncrementalSweepMatchesCold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	grid := []float64{5, 15, 30, 60, 120, 240, 480, 600, 1200}
+	cold, err := SweepTIDS(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := SweepTIDSOpts(cfg, grid, SweepOpts{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		w, g := cold[i].Result, inc[i].Result
+		if d := (w.MTTSF - g.MTTSF) / w.MTTSF; d > 1e-10 || d < -1e-10 {
+			t.Errorf("TIDS=%v: incremental MTTSF %g vs cold %g", grid[i], g.MTTSF, w.MTTSF)
+		}
+		if d := (w.Ctotal - g.Ctotal) / w.Ctotal; d > 1e-10 || d < -1e-10 {
+			t.Errorf("TIDS=%v: incremental Ctotal %g vs cold %g", grid[i], g.Ctotal, w.Ctotal)
+		}
+	}
+}

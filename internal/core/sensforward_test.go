@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestForwardSensitivitiesMatchFiniteDifference validates the forward
+// system against the model itself: for every perturbable parameter,
+// dMTTSF/dθ from the one-extra-solve forward pass must agree with a
+// central finite difference of two full evaluations.
+func TestForwardSensitivitiesMatchFiniteDifference(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	p, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := p.ForwardSensitivities(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) == 0 {
+		t.Fatal("no sensitivities computed")
+	}
+	const rel = 1e-4
+	for _, s := range sens {
+		pp, err := perturbableByKey(s.Param)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := rel * math.Abs(s.Base)
+		up, down := cfg, cfg
+		pp.set(&up, s.Base+h)
+		pp.set(&down, s.Base-h)
+		mUp, err := MTTSFOnly(up)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Param, err)
+		}
+		mDown, err := MTTSFOnly(down)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Param, err)
+		}
+		dFD := (mUp - mDown) / (2 * h)
+		tol := 1e-3 * math.Max(math.Abs(dFD), math.Abs(s.DMTTSF))
+		if tol == 0 {
+			tol = 1e-9
+		}
+		if d := math.Abs(s.DMTTSF - dFD); d > tol {
+			t.Errorf("%s: forward dMTTSF/dθ = %g, finite difference %g (diff %g > tol %g)",
+				s.Param, s.DMTTSF, dFD, d, tol)
+		}
+	}
+}
+
+// TestGradientOptimalTIDS pins the gradient-guided search: it must locate a
+// TIDS at least as good as the best of a dense enumeration (the continuous
+// optimum dominates any grid), spend fewer evaluations than the grid has
+// points, and attach the full sensitivity vector to its result.
+func TestGradientOptimalTIDS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	const points = 32
+	grid := make([]float64, points)
+	for i := range grid {
+		ti := float64(i) / float64(points-1)
+		grid[i] = 5 * math.Pow(1200/5.0, ti)
+	}
+	pts, err := SweepTIDS(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestGrid := 0.0
+	for _, p := range pts {
+		if p.Result.MTTSF > bestGrid {
+			bestGrid = p.Result.MTTSF
+		}
+	}
+
+	opt, err := GradientOptimalTIDS(cfg, 5, 1200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Result.MTTSF < bestGrid*(1-1e-6) {
+		t.Errorf("gradient optimum MTTSF %g below dense-grid best %g", opt.Result.MTTSF, bestGrid)
+	}
+	if opt.Evals >= points {
+		t.Errorf("gradient search spent %d evals, dense grid has only %d points", opt.Evals, points)
+	}
+	if len(opt.Result.Sensitivities) == 0 {
+		t.Error("gradient optimum carries no sensitivities")
+	}
+	if opt.TIDS < 5 || opt.TIDS > 1200 {
+		t.Errorf("optimum %v escaped the bracket", opt.TIDS)
+	}
+}
+
+// TestGradientOptimalTIDSValidation pins the argument contract.
+func TestGradientOptimalTIDSValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	if _, err := GradientOptimalTIDS(cfg, 0, 100, 0); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := GradientOptimalTIDS(cfg, 100, 100, 0); err == nil {
+		t.Error("empty bracket accepted")
+	}
+}

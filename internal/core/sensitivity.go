@@ -16,19 +16,27 @@ type Sensitivity struct {
 	Elasticity float64
 }
 
-// perturbable lists the continuous parameters probed by the analysis.
-var perturbable = []struct {
-	name string
+// perturbableParam is one continuous parameter the sensitivity analyses
+// probe: a short machine key (the name forward sensitivities and CLI flags
+// use), the human description the classic analysis reports, and accessors.
+type perturbableParam struct {
+	key  string
+	desc string
 	get  func(*Config) float64
 	set  func(*Config, float64)
-}{
-	{"LambdaC (attacker rate)", func(c *Config) float64 { return c.LambdaC }, func(c *Config, v float64) { c.LambdaC = v }},
-	{"TIDS (detection interval)", func(c *Config) float64 { return c.TIDS }, func(c *Config, v float64) { c.TIDS = v }},
-	{"P1 (host IDS false negative)", func(c *Config) float64 { return c.P1 }, func(c *Config, v float64) { c.P1 = v }},
-	{"P2 (host IDS false positive)", func(c *Config) float64 { return c.P2 }, func(c *Config, v float64) { c.P2 = v }},
-	{"LambdaQ (data request rate)", func(c *Config) float64 { return c.LambdaQ }, func(c *Config, v float64) { c.LambdaQ = v }},
-	{"PartitionRate", func(c *Config) float64 { return c.PartitionRate }, func(c *Config, v float64) { c.PartitionRate = v }},
-	{"MergeRate", func(c *Config) float64 { return c.MergeRate }, func(c *Config, v float64) { c.MergeRate = v }},
+}
+
+// perturbable lists the continuous parameters probed by the analyses
+// (finite-difference SensitivityAnalysis and the forward-sensitivity
+// solves in sensforward.go share it).
+var perturbable = []perturbableParam{
+	{"lambda_c", "LambdaC (attacker rate)", func(c *Config) float64 { return c.LambdaC }, func(c *Config, v float64) { c.LambdaC = v }},
+	{"tids", "TIDS (detection interval)", func(c *Config) float64 { return c.TIDS }, func(c *Config, v float64) { c.TIDS = v }},
+	{"p1", "P1 (host IDS false negative)", func(c *Config) float64 { return c.P1 }, func(c *Config, v float64) { c.P1 = v }},
+	{"p2", "P2 (host IDS false positive)", func(c *Config) float64 { return c.P2 }, func(c *Config, v float64) { c.P2 = v }},
+	{"lambda_q", "LambdaQ (data request rate)", func(c *Config) float64 { return c.LambdaQ }, func(c *Config, v float64) { c.LambdaQ = v }},
+	{"partition_rate", "PartitionRate", func(c *Config) float64 { return c.PartitionRate }, func(c *Config, v float64) { c.PartitionRate = v }},
+	{"merge_rate", "MergeRate", func(c *Config) float64 { return c.MergeRate }, func(c *Config, v float64) { c.MergeRate = v }},
 }
 
 // SensitivityAnalysis perturbs each continuous parameter by ±rel (for
@@ -55,14 +63,14 @@ func SensitivityAnalysis(cfg Config, rel float64) ([]Sensitivity, error) {
 		p.set(&down, v0*(1-rel))
 		mUp, err := MTTSFOnly(up)
 		if err != nil {
-			return nil, fmt.Errorf("core: sensitivity of %s (+): %w", p.name, err)
+			return nil, fmt.Errorf("core: sensitivity of %s (+): %w", p.desc, err)
 		}
 		mDown, err := MTTSFOnly(down)
 		if err != nil {
-			return nil, fmt.Errorf("core: sensitivity of %s (-): %w", p.name, err)
+			return nil, fmt.Errorf("core: sensitivity of %s (-): %w", p.desc, err)
 		}
 		out = append(out, Sensitivity{
-			Param:      p.name,
+			Param:      p.desc,
 			Base:       v0,
 			MTTSFBase:  base,
 			Elasticity: (mUp - mDown) / base / (2 * rel),

@@ -60,6 +60,18 @@ type SweepOpts struct {
 	// out over the evaluator's worker pool. Results are
 	// tolerance-identical (1e-12 relative residual) either way.
 	WarmStart bool
+	// Incremental routes neighbouring grid points through the
+	// patch+re-solve path (PreparedDelta): the first point pays a full
+	// prepare and anchors an incremental session; every later rate-only
+	// point re-rates the shared graph, patches the cached generator
+	// pattern in place, and re-solves through the session's reused
+	// factorization (exact block-triangular, frozen-ILU Krylov fallback)
+	// — skipping explore, assembly, transpose, and symbolic
+	// factorization. Structural deltas and hard solve failures fall back
+	// to the full path (and re-anchor), so results are always
+	// tolerance-identical to a cold sweep. Implies WarmStart's sequential
+	// evaluation order.
+	Incremental bool
 }
 
 // SweepTIDSOpts is SweepTIDS with explicit sweep options. With WarmStart
@@ -71,11 +83,12 @@ func SweepTIDSOpts(cfg Config, grid []float64, opts SweepOpts) ([]SweepPoint, er
 		return nil, fmt.Errorf("core: empty TIDS grid")
 	}
 	pe, ok := DefaultEvaluator().(PreparedEvaluator)
-	if !opts.WarmStart || !ok {
+	if !(opts.WarmStart || opts.Incremental) || !ok {
 		return SweepTIDS(cfg, grid)
 	}
 	points := make([]SweepPoint, len(grid))
 	ws := ctmc.NewSweepSolver()
+	var pd *PreparedDelta
 	for i, tids := range grid {
 		c := cfg
 		c.TIDS = tids
@@ -84,12 +97,27 @@ func SweepTIDSOpts(cfg Config, grid []float64, opts SweepOpts) ([]SweepPoint, er
 		// from the last actually-solved neighbour, which is still a
 		// valid guess).
 		res, err := pe.EvalWith(c, func() (*Prepared, error) {
+			if opts.Incremental && pd != nil {
+				if p, err := pd.Prepared(c); err == nil {
+					return p, nil
+				}
+				// Structural delta or hard patched-solve failure: fall
+				// through to the full path and re-anchor on its result.
+				pd = nil
+			}
 			p, err := pe.Prepared(c)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := p.SolutionSwept(ws); err != nil {
+			sol, err := p.SolutionSwept(ws)
+			if err != nil {
 				return nil, err
+			}
+			if opts.Incremental {
+				if npd, err := NewPreparedDelta(p); err == nil {
+					npd.Observe(sol)
+					pd = npd
+				}
 			}
 			return p, nil
 		})

@@ -38,8 +38,25 @@ type SolveContext struct {
 	// ILU returns the ILU(0) factorization of A, computed at most once per
 	// chain and shared by every solve of the same matrix — each sweep point
 	// and warm-started SweepSolver solve reuses the factors rather than
-	// refactoring.
+	// refactoring. For a value-patched system the factors may be *frozen*
+	// (computed for a nearby matrix): Krylov backends tolerate an
+	// approximate preconditioner, paying iterations instead of wrong
+	// answers.
 	ILU func() (*linalg.ILU0, error)
+	// Iters, when non-nil, additionally receives the iteration count of
+	// this one solve — the per-solve observability the incremental
+	// re-solve path's refactorization budget is keyed on. Written without
+	// synchronization; a SolveContext describes one solve on one goroutine.
+	Iters *uint64
+}
+
+// countIters accounts n iterations to the global and per-backend counters
+// and, when the context carries a per-solve sink, to that sink too.
+func (ctx *SolveContext) countIters(backend string, n uint64) {
+	addSolveIters(backend, n)
+	if ctx.Iters != nil {
+		*ctx.Iters += n
+	}
 }
 
 // SolverBackend is one pluggable solve strategy behind ctmc.Solution.
@@ -238,7 +255,7 @@ type sorCascadeBackend struct{}
 func (sorCascadeBackend) Name() string { return BackendSORCascade }
 
 func (sorCascadeBackend) Solve(ctx *SolveContext) (linalg.Vector, error) {
-	return cascade(ctx.A, ctx.B, ctx.X0)
+	return cascade(ctx)
 }
 
 // iluBiCGSTABBackend solves with BiCGSTAB preconditioned by the chain's
@@ -253,15 +270,15 @@ func (iluBiCGSTABBackend) Name() string { return BackendILUBiCGSTAB }
 func (iluBiCGSTABBackend) Solve(ctx *SolveContext) (linalg.Vector, error) {
 	f, err := ctx.ILU()
 	if err != nil {
-		return cascade(ctx.A, ctx.B, ctx.X0)
+		return cascade(ctx)
 	}
 	x, res, err := linalg.SolvePrecBiCGSTAB(ctx.A, ctx.B, f,
 		linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: ctx.X0})
-	addSolveIters(BackendILUBiCGSTAB, uint64(res.Iterations))
+	ctx.countIters(BackendILUBiCGSTAB, uint64(res.Iterations))
 	if err == nil {
 		return x, nil
 	}
-	return cascade(ctx.A, ctx.B, ctx.X0)
+	return cascade(ctx)
 }
 
 // gmresBackend solves with restarted GMRES(40), ILU(0)-preconditioned.
@@ -280,11 +297,11 @@ func (gmresBackend) Solve(ctx *SolveContext) (linalg.Vector, error) {
 		IterOpts: linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: ctx.X0},
 		Restart:  40,
 	})
-	addSolveIters(BackendGMRES, uint64(res.Iterations))
+	ctx.countIters(BackendGMRES, uint64(res.Iterations))
 	if err == nil {
 		return x, nil
 	}
-	return cascade(ctx.A, ctx.B, ctx.X0)
+	return cascade(ctx)
 }
 
 // autoBackend picks per system: the SOR cascade below autoKrylovStates

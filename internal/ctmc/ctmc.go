@@ -231,13 +231,13 @@ func (c *Chain) solveVia(a *linalg.CSR, rhs, x0 linalg.Vector, ilu func() (*lina
 
 // cascade is the counter-free solver body (SOR -> BiCGSTAB -> dense LU);
 // callers account one SolveCount per logical transient solve themselves.
-func cascade(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
-	x, res, err := linalg.SolveSOR(a, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
-	addSolveIters(BackendSORCascade, uint64(res.Iterations))
+func cascade(ctx *SolveContext) (linalg.Vector, error) {
+	x, res, err := linalg.SolveSOR(ctx.A, ctx.B, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: ctx.X0})
+	ctx.countIters(BackendSORCascade, uint64(res.Iterations))
 	if err == nil {
 		return x, nil
 	}
-	return cascadeTail(a, rhs, x0, err)
+	return cascadeTail(ctx, err)
 }
 
 // cascadeTail is the cascade after a failed full-budget SOR attempt
@@ -245,14 +245,14 @@ func cascade(a *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
 // here directly when its ω = 1 calibration attempt — already an identical
 // full-budget SOR run — failed, rather than paying the same 40k sweeps
 // twice.
-func cascadeTail(a *linalg.CSR, rhs, x0 linalg.Vector, sorErr error) (linalg.Vector, error) {
-	x, res, err2 := linalg.SolveBiCGSTAB(a, rhs, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: x0})
-	addSolveIters(BackendSORCascade, uint64(res.Iterations))
+func cascadeTail(ctx *SolveContext, sorErr error) (linalg.Vector, error) {
+	x, res, err2 := linalg.SolveBiCGSTAB(ctx.A, ctx.B, linalg.IterOpts{Tol: solverTol, MaxIter: solverMaxIter, X0: ctx.X0})
+	ctx.countIters(BackendSORCascade, uint64(res.Iterations))
 	if err2 == nil {
 		return x, nil
 	}
-	if a.Rows <= 1500 {
-		xd, err3 := linalg.SolveDense(a.Dense(), rhs)
+	if ctx.A.Rows <= 1500 {
+		xd, err3 := linalg.SolveDense(ctx.A.Dense(), ctx.B)
 		if err3 == nil {
 			return xd, nil
 		}
@@ -404,4 +404,33 @@ func (c *Chain) ExpectedRewardAllStarts(reward linalg.Vector) (linalg.Vector, er
 		w[i] = sol[ti]
 	}
 	return w, nil
+}
+
+// SolveSubTT solves Q_TT^T x = rhs for an arbitrary full-length right-hand
+// side (entries on absorbing states are ignored) and returns x expanded
+// over all states, with zeros on absorbing states. This is the primitive
+// behind forward-sensitivity solves — the same cached sub-generator
+// transpose and ILU(0) factors as the sojourn solve, applied to the
+// directional system A·dy = -(∂A/∂θ)·y. No sign clamping is applied:
+// unlike sojourn times, directional derivatives are legitimately negative.
+func (c *Chain) SolveSubTT(rhsFull linalg.Vector) (linalg.Vector, error) {
+	if len(rhsFull) != c.n {
+		return nil, fmt.Errorf("ctmc: rhs length %d, want %d", len(rhsFull), c.n)
+	}
+	x := linalg.NewVector(c.n)
+	if len(c.tRev) == 0 {
+		return x, nil
+	}
+	rhs := linalg.NewVector(len(c.tRev))
+	for ti, i := range c.tRev {
+		rhs[ti] = rhsFull[i]
+	}
+	sol, err := c.solveVia(c.subGeneratorT(), rhs, nil, c.iluForSubT)
+	if err != nil {
+		return nil, err
+	}
+	for ti, i := range c.tRev {
+		x[i] = sol[ti]
+	}
+	return x, nil
 }

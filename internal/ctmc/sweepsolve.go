@@ -85,8 +85,9 @@ func (ws *SweepSolver) Solve(c *Chain, init int) (*Solution, error) {
 // solveSystem runs one warm, possibly over-relaxed SOR attempt and falls
 // back to the standard cascade when it fails.
 func (ws *SweepSolver) solveSystem(at *linalg.CSR, rhs, x0 linalg.Vector) (linalg.Vector, error) {
+	ctx := &SolveContext{A: at, B: rhs, X0: x0}
 	if ws.disabled {
-		return cascade(at, rhs, x0)
+		return cascade(ctx)
 	}
 	if ws.omega == 0 {
 		// Calibration solve at ω = 1. The observed contraction rate needs
@@ -107,7 +108,7 @@ func (ws *SweepSolver) solveSystem(at *linalg.CSR, rhs, x0 linalg.Vector) (linal
 			// This was already a full-budget ω = 1 SOR run; go straight
 			// to the cascade's BiCGSTAB/LU tail instead of repeating it.
 			ws.disabled = true
-			return cascadeTail(at, rhs, x0, err)
+			return cascadeTail(ctx, err)
 		}
 		ws.calibrate(r0, res)
 		ws.lastIters = res.Iterations
@@ -129,7 +130,7 @@ func (ws *SweepSolver) solveSystem(at *linalg.CSR, rhs, x0 linalg.Vector) (linal
 	// The family left ω*'s stability region: give up on adaptation for
 	// the remaining grid points rather than stagnating on each.
 	ws.disabled = true
-	return cascade(at, rhs, x0)
+	return cascade(ctx)
 }
 
 // calibrate derives the derated Young factor from an observed ω = 1 run.

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/ctmc"
 )
 
 func init() { core.SetDefaultEvaluator(Default()) }
@@ -72,6 +73,18 @@ type Stats struct {
 	Entries, PreparedEntries int
 	// PreparedBytes is the estimated footprint of the prepared-model LRU.
 	PreparedBytes int64
+
+	// PatchedSolves, Refactorizations, and StructuralRepreps account for
+	// the incremental re-solve path: solves served by patching the cached
+	// generator pattern in place, ILU(0) refactorizations the drift/
+	// iteration budgets forced, and incremental points that fell back to a
+	// full structural re-prepare. They are process-global (the counters
+	// live in internal/ctmc and internal/core, shared by every engine and
+	// every Direct evaluation), reported here so /v1/stats and the CLIs
+	// surface them alongside the cache accounting.
+	PatchedSolves     uint64 `json:"patched_solves"`
+	Refactorizations  uint64 `json:"refactorizations"`
+	StructuralRepreps uint64 `json:"structural_repreps"`
 }
 
 // String renders the stats for CLI output.
@@ -439,6 +452,9 @@ func (e *Engine) Stats() Stats {
 	s.PreparedEntries = e.prepared.len()
 	s.PreparedBytes = e.prepared.sizeBytes()
 	e.pmu.Unlock()
+	s.PatchedSolves = ctmc.PatchedSolves()
+	s.Refactorizations = ctmc.Refactorizations()
+	s.StructuralRepreps = core.StructuralRepreps()
 	return s
 }
 

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,13 @@ type Checkpointer struct {
 	engine   *engine.Engine
 	path     string
 	interval time.Duration
+
+	// Logf, when set, receives one line per completed save reporting the
+	// compaction effect: how many live entries were written and the
+	// snapshot's size before and after the rewrite. Saves rebuild the file
+	// from the engine's live LRU contents, so entries evicted since the
+	// previous save are dropped from disk rather than accreted.
+	Logf func(format string, args ...any)
 
 	mu        sync.Mutex // serializes saves; guards lastStamp
 	lastStamp [2]uint64  // (Evals, Evictions) at the last successful save
@@ -91,7 +99,9 @@ func (c *Checkpointer) Stop() error {
 func (c *Checkpointer) Save() error { return c.save(true) }
 
 // save snapshots the cache; unless forced, an unchanged cache (same eval
-// and eviction counters as the last successful save) is skipped.
+// and eviction counters as the last successful save) is skipped. Each save
+// rewrites the snapshot from the live LRU entries — a compaction, not an
+// append — and reports the size delta through Logf when one is set.
 func (c *Checkpointer) save(force bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -100,8 +110,20 @@ func (c *Checkpointer) save(force bool) error {
 	if !force && stamp == c.lastStamp {
 		return nil
 	}
-	if err := SaveEngine(c.engine, c.path); err != nil {
+	var before int64
+	if fi, err := os.Stat(c.path); err == nil {
+		before = fi.Size()
+	}
+	entries := c.engine.SnapshotEntries()
+	if err := Save(c.path, entries); err != nil {
 		return err
+	}
+	if c.Logf != nil {
+		var after int64
+		if fi, err := os.Stat(c.path); err == nil {
+			after = fi.Size()
+		}
+		c.Logf("checkpoint: compacted snapshot to %d live entries, %d -> %d bytes", len(entries), before, after)
 	}
 	c.lastStamp = stamp
 	return nil

@@ -1,0 +1,76 @@
+package persist
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestCheckpointerCompaction pins the compaction satellite: each save
+// rewrites the snapshot from the engine's live LRU entries (evicted
+// entries are dropped from disk, not accreted), and Logf receives the
+// entry count with the size-before/after line.
+func TestCheckpointerCompaction(t *testing.T) {
+	// A 1-entry result cache: each new point evicts the previous one, so
+	// the live set stays at one entry no matter how many were evaluated.
+	big, _ := populate(t)
+	small := newBoundedEngine(t)
+
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	c := NewCheckpointer(big, path, time.Hour)
+	var lines []string
+	c.Logf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "live entries") {
+		t.Fatalf("expected one compaction log line, got %q", lines)
+	}
+	entries, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(testGrid) {
+		t.Fatalf("snapshot holds %d entries, want %d", len(entries), len(testGrid))
+	}
+
+	// Re-point the same file at the heavily evicted engine: the rewrite
+	// must shrink the snapshot to the single live entry.
+	c2 := NewCheckpointer(small, path, time.Hour)
+	c2.Logf = c.Logf
+	if err := c2.Save(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("compacted snapshot holds %d entries, want 1 (live LRU size)", len(entries))
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "1 live entries") {
+		t.Fatalf("compaction line does not report the live entry count: %q", last)
+	}
+}
+
+// newBoundedEngine evaluates the test grid through a 1-entry result cache,
+// leaving exactly one live entry behind.
+func newBoundedEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Options{CacheSize: 1})
+	for _, tids := range testGrid {
+		cfg := testConfig()
+		cfg.TIDS = tids
+		if _, err := e.Eval(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}

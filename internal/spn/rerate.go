@@ -1,0 +1,90 @@
+package spn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value-only re-rating: a rebuilt Net whose guard structure matches the one
+// a Graph was explored under induces the *same* reachability graph with
+// different edge rates. CloneForRerate + Rerate exploit that: the expensive
+// immutable structure (interned states, marking table, edge topology) is
+// shared, only the rate values are rewritten in place. This is the graph
+// half of the incremental re-solve path — ctmc.PatchedChain scatters the
+// re-rated edges into the cached CSR pattern without re-assembly.
+
+// ErrStructureChanged reports that a Rerate replay found a different
+// enabled-transition set than the one the graph was explored under — the
+// parameter change was structural after all, and the caller must fall back
+// to a full re-exploration.
+var ErrStructureChanged = errors.New("spn: enabled-transition structure changed; graph must be re-explored")
+
+// CloneForRerate returns a graph that shares g's immutable structure
+// (states, marking table, place index, initial state) but owns a private
+// copy of the edge arena and evaluates rates against net. The clone is
+// safe to Rerate repeatedly without disturbing g; the shared state storage
+// must not be mutated through either graph (nothing in this package does).
+//
+// net must have the same place count as g's net; transition structure is
+// not checked here — Rerate verifies it edge by edge on every call.
+func (g *Graph) CloneForRerate(net *Net) (*Graph, error) {
+	if net.NumPlaces() != len(g.Net.placeNames) {
+		return nil, fmt.Errorf("spn: clone net has %d places, graph was explored with %d",
+			net.NumPlaces(), len(g.Net.placeNames))
+	}
+	clone := &Graph{
+		Net:      net,
+		States:   g.States,
+		Initial:  g.Initial,
+		PlaceIdx: g.PlaceIdx,
+		table:    g.table,
+		nEdges:   g.nEdges,
+	}
+	// One flat private arena, re-windowed per state exactly like Explore's.
+	flat := make([]Edge, 0, g.nEdges)
+	clone.Edges = make([][]Edge, len(g.Edges))
+	for i, row := range g.Edges {
+		start := len(flat)
+		flat = append(flat, row...)
+		clone.Edges[i] = flat[start:len(flat):len(flat)]
+	}
+	return clone, nil
+}
+
+// Rerate replays Explore's per-state enabling scan under the current g.Net
+// and rewrites every edge's Rate in place. It verifies — state by state,
+// edge by edge — that the enabled-transition sequence is identical to the
+// one the graph holds; any mismatch (a transition newly enabled, newly
+// disabled, or reordered) returns ErrStructureChanged with the graph's
+// rates left in a partially updated state the caller must discard.
+//
+// Successor states are not recomputed: firing depends only on arc
+// structure, which an identically shaped net reproduces, and a net whose
+// arcs differ cannot match the per-state transition sequence of the
+// original exploration anyway (the guard/token scan would diverge first or
+// the rates would be wrong in ways the solver-level equivalence tests
+// catch).
+func (g *Graph) Rerate() error {
+	n := g.Net
+	for si, m := range g.States {
+		edges := g.Edges[si]
+		k := 0
+		for ti, t := range n.trans {
+			rate, ok := n.enabled(t, m)
+			if !ok {
+				continue
+			}
+			if k >= len(edges) || edges[k].Transition != ti {
+				return fmt.Errorf("%w (state %d, transition %q newly enabled)",
+					ErrStructureChanged, si, t.Name)
+			}
+			edges[k].Rate = rate
+			k++
+		}
+		if k != len(edges) {
+			return fmt.Errorf("%w (state %d, transition %q newly disabled)",
+				ErrStructureChanged, si, n.trans[edges[k].Transition].Name)
+		}
+	}
+	return nil
+}
