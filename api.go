@@ -198,6 +198,25 @@ type ServiceStats = service.StatsResponse
 // the request was never evaluated and can be retried after a backoff.
 var ErrServerOverloaded = service.ErrOverloaded
 
+// ErrCircuitOpen reports a request refused locally by a resilient client's
+// circuit breaker: the server failed repeatedly and the breaker is in its
+// cooldown, so the request was never sent.
+var ErrCircuitOpen = service.ErrCircuitOpen
+
+// RetryPolicy opts a client into resilience: transparent retries with
+// exponential backoff and full jitter on transient failures (429, 5xx,
+// transport errors), per-attempt timeouts, and a circuit breaker. The zero
+// value (as used by NewClient) keeps the legacy fail-fast behaviour.
+type RetryPolicy = service.RetryPolicy
+
+// ClientStats counts a client's resilience activity: retries performed,
+// breaker trips, and requests refused while the breaker was open.
+type ClientStats = service.ClientStats
+
+// HealthResponse is the GET /healthz payload: overall status
+// (ok/degraded/draining) plus the resilience counters behind it.
+type HealthResponse = service.HealthResponse
+
 // NewClient builds a client for the evaluation server at baseURL (e.g.
 // "http://127.0.0.1:8080").
 func NewClient(baseURL string) *Client { return service.NewClient(baseURL, nil) }
@@ -206,6 +225,14 @@ func NewClient(baseURL string) *Client { return service.NewClient(baseURL, nil) 
 // transports, proxies, or TLS configuration).
 func NewClientHTTP(baseURL string, hc *http.Client) *Client {
 	return service.NewClient(baseURL, hc)
+}
+
+// NewResilientClient is NewClientHTTP with a retry/breaker policy: the
+// client absorbs transient server failures (429/5xx/transport resets)
+// transparently and fails fast with ErrCircuitOpen while the server is
+// persistently down. Pass a nil http.Client for the default transport.
+func NewResilientClient(baseURL string, hc *http.Client, policy RetryPolicy) *Client {
+	return service.NewResilientClient(baseURL, hc, policy)
 }
 
 // PaperTIDSGrid is the detection-interval grid used in the paper's figures.

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 	"repro/internal/service"
 	"repro/internal/spn"
@@ -83,6 +85,10 @@ type Result struct {
 	// concurrent client pool, and the 99th-percentile request latency.
 	ReqPerSec float64 `json:"req_per_sec,omitempty"`
 	P99Ns     int64   `json:"p99_ns,omitempty"`
+	// Retries counts client-side retried attempts (serve_batch_faulty
+	// only): how much of the injected fault schedule the resilient client
+	// had to absorb to finish the sweep.
+	Retries uint64 `json:"retries,omitempty"`
 }
 
 // FingerprintCheck records a parallel-vs-sequential exploration identity
@@ -175,6 +181,7 @@ func main() {
 	f.Workloads = append(f.Workloads, backendMatrixWorkloads(sweepN)...)
 	f.Workloads = append(f.Workloads, largeNWorkloads(largeNSide(*preset))...)
 	f.Workloads = append(f.Workloads, serveBatchWorkload(30))
+	f.Workloads = append(f.Workloads, serveBatchFaultyWorkload(30))
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -691,6 +698,100 @@ func serveBatchWorkload(n int) Result {
 	}
 	fmt.Printf("%-20s N=%-4d %12d ns/op  %8.0f req/s  p99 %s (%d-point warm batches, %d clients)\n",
 		r.Name, n, r.NsPerOp, r.ReqPerSec, time.Duration(r.P99Ns), len(cfgs), clients)
+	return r
+}
+
+// serveBatchFaultyWorkload is serve_batch under an adversarial transport:
+// a deterministic fault plan injects a transient 503 (with Retry-After) on
+// 5% of requests, and the resilient client must complete the identical
+// warm sweep anyway — every batch byte-identical to the fault-free
+// reference — by absorbing the failures with retries. The headline numbers
+// are the retry count (how much schedule was absorbed) and p99 (what the
+// tail paid for it); the acceptance bar is p99 staying within a small
+// multiple of fault-free serve_batch.
+func serveBatchFaultyWorkload(n int) Result {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	cfgs := make([]core.Config, len(core.PaperTIDSGrid))
+	for i, tids := range core.PaperTIDSGrid {
+		cfgs[i] = cfg
+		cfgs[i].TIDS = tids
+	}
+
+	eng := engine.New(engine.Options{})
+	ts := httptest.NewServer(service.New(service.Options{Backend: eng}))
+	defer ts.Close()
+	const requests = 256
+	clients := runtime.GOMAXPROCS(0)
+	hc := ts.Client()
+	if tr, ok := hc.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = clients
+	}
+	client := service.NewResilientClient(ts.URL, hc, service.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+	})
+	ctx := context.Background()
+	// Fault-free warm batch doubles as the byte-identity reference.
+	want, err := client.EvalBatch(ctx, cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		fatal(err)
+	}
+
+	faultinject.Enable(faultinject.Plan{
+		Seed:  42,
+		Rates: map[string]float64{faultinject.HTTPErr5xx: 0.05},
+	})
+	defer faultinject.Disable()
+	latencies := make([]time.Duration, requests)
+	var failed, mismatched atomic.Int64
+	start := time.Now()
+	core.ForEachIndexed(requests, clients, func(i int) {
+		t0 := time.Now()
+		got, err := client.EvalBatch(ctx, cfgs)
+		latencies[i] = time.Since(t0)
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil || !bytes.Equal(gotJSON, wantJSON) {
+			mismatched.Add(1)
+		}
+	})
+	wall := time.Since(start)
+	fired := faultinject.FiredCounts()
+	faultinject.Disable()
+	if failed.Load() > 0 {
+		fatal(fmt.Errorf("serve_batch_faulty: %d of %d requests failed despite retries", failed.Load(), requests))
+	}
+	if mismatched.Load() > 0 {
+		fatal(fmt.Errorf("serve_batch_faulty: %d of %d responses not byte-identical to the fault-free reference", mismatched.Load(), requests))
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	retries := client.RetryStats().Retries
+	r := Result{
+		Name:       "serve_batch_faulty",
+		N:          n,
+		Iterations: requests,
+		NsPerOp:    int64(total) / requests,
+		ReqPerSec:  float64(requests) / wall.Seconds(),
+		P99Ns:      int64(sorted[requests*99/100]),
+		Retries:    retries,
+	}
+	fmt.Printf("%-20s N=%-4d %12d ns/op  %8.0f req/s  p99 %s (5%% injected 503s: %d fired, %d retries, all byte-identical)\n",
+		r.Name, n, r.NsPerOp, r.ReqPerSec, time.Duration(r.P99Ns), fired[faultinject.HTTPErr5xx], retries)
 	return r
 }
 

@@ -6,19 +6,27 @@
 //
 //	server [-addr host:port] [-snapshot file] [-checkpoint interval]
 //	       [-inflight n] [-max-batch n] [-workers n]
-//	       [-cache-size n] [-prepared-mb mb]
+//	       [-cache-size n] [-prepared-mb mb] [-solve-timeout d]
 //
-// With -snapshot set, the server warm-starts its result cache from the
-// file at boot (a missing file is a normal cold boot; a stale-schema or
-// corrupt snapshot is logged and ignored — never silently reused), then
-// checkpoints the cache every -checkpoint interval and once more during
-// graceful shutdown (SIGINT/SIGTERM), so a replayed sweep after a restart
-// is served from cache instead of re-solved.
+// With -snapshot set, the server warm-starts its result cache at boot from
+// the freshest valid snapshot generation — the current file, or the .prev
+// generation if the current one is torn, corrupt, or stale (a crash
+// mid-checkpoint therefore costs at most one interval of warmth, never the
+// whole cache) — then checkpoints the cache every -checkpoint interval and
+// once more during graceful shutdown (SIGINT/SIGTERM), so a replayed sweep
+// after a restart is served from cache instead of re-solved. Shutdown
+// flips /healthz to 503 (draining) before the listener stops accepting, so
+// load balancers stop routing new traffic while in-flight requests finish.
+//
+// The REPRO_FAULTS environment variable arms the deterministic
+// fault-injection seam for chaos testing (e.g.
+// REPRO_FAULTS="seed=42,http.err5xx=0.05"); it is parsed at boot and the
+// active plan is logged. A malformed plan is fatal — a chaos run that
+// silently tests nothing is worse than no run.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -29,6 +37,7 @@ import (
 
 	"repro/internal/ctmc"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/persist"
 	"repro/internal/service"
 )
@@ -42,6 +51,7 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 0, "result cache entries (0 = 4096)")
 	preparedMB := flag.Int64("prepared-mb", 0, "prepared-model cache budget in MiB (0 = 256)")
+	solveTimeout := flag.Duration("solve-timeout", 0, "per-point watchdog: abandon a solve with a retryable 503 after this long (0 = no watchdog)")
 	flag.Parse()
 	log.SetPrefix("server: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -50,6 +60,12 @@ func main() {
 	// per-request evaluation error that reads like a client mistake.
 	if err := ctmc.ValidateDefaultSolver(); err != nil {
 		log.Fatalf("refusing to start: %v", err)
+	}
+	// Same contract for REPRO_FAULTS: arm it loudly or die loudly.
+	if armed, err := faultinject.EnableFromEnv(); err != nil {
+		log.Fatalf("refusing to start: %v", err)
+	} else if armed {
+		log.Printf("FAULT INJECTION ARMED: %s=%q", faultinject.EnvVar, os.Getenv(faultinject.EnvVar))
 	}
 
 	eng := engine.New(engine.Options{
@@ -60,14 +76,12 @@ func main() {
 
 	var ckpt *persist.Checkpointer
 	if *snapshot != "" {
-		n, err := persist.WarmStart(eng, *snapshot)
+		n, gen, err := persist.WarmStartAuto(eng, *snapshot, log.Printf)
 		switch {
-		case errors.Is(err, persist.ErrStaleSchema), errors.Is(err, persist.ErrCorrupt):
-			log.Printf("ignoring unusable snapshot, booting cold: %v", err)
 		case err != nil:
-			log.Printf("snapshot unreadable, booting cold: %v", err)
+			log.Printf("no usable snapshot generation, booting cold: %v", err)
 		case n > 0:
-			log.Printf("warm start: %d cached results restored from %s", n, *snapshot)
+			log.Printf("warm start: %d cached results restored from %s generation of %s", n, gen, *snapshot)
 		default:
 			log.Printf("cold start: no snapshot at %s yet", *snapshot)
 		}
@@ -76,13 +90,21 @@ func main() {
 		ckpt.Start(func(err error) { log.Printf("checkpoint failed: %v", err) })
 	}
 
+	svc := service.New(service.Options{
+		Backend:        eng,
+		MaxInflight:    *inflight,
+		MaxBatchPoints: *maxBatch,
+		SolveTimeout:   *solveTimeout,
+		CheckpointStatus: func() persist.CheckpointStatus {
+			if ckpt == nil {
+				return persist.CheckpointStatus{}
+			}
+			return ckpt.Status()
+		},
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: service.New(service.Options{
-			Backend:        eng,
-			MaxInflight:    *inflight,
-			MaxBatchPoints: *maxBatch,
-		}),
+		Addr:              *addr,
+		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -99,7 +121,10 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down")
+	// Draining first: /healthz flips to 503 so orchestrators stop routing
+	// here, then the listener shuts down gracefully under a deadline.
+	svc.SetDraining(true)
+	log.Printf("shutting down (draining)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -270,6 +270,7 @@ func (iluBiCGSTABBackend) Name() string { return BackendILUBiCGSTAB }
 func (iluBiCGSTABBackend) Solve(ctx *SolveContext) (linalg.Vector, error) {
 	f, err := ctx.ILU()
 	if err != nil {
+		countFallback(BackendILUBiCGSTAB)
 		return cascade(ctx)
 	}
 	x, res, err := linalg.SolvePrecBiCGSTAB(ctx.A, ctx.B, f,
@@ -278,6 +279,7 @@ func (iluBiCGSTABBackend) Solve(ctx *SolveContext) (linalg.Vector, error) {
 	if err == nil {
 		return x, nil
 	}
+	countFallback(BackendILUBiCGSTAB)
 	return cascade(ctx)
 }
 
@@ -301,6 +303,7 @@ func (gmresBackend) Solve(ctx *SolveContext) (linalg.Vector, error) {
 	if err == nil {
 		return x, nil
 	}
+	countFallback(BackendGMRES)
 	return cascade(ctx)
 }
 

@@ -219,14 +219,17 @@ const (
 )
 
 // solveVia routes one logical transient solve through the chain's selected
-// backend ("auto" resolves per system size). ilu hands the backend the
-// chain-cached ILU(0) factors of a. Warm-start guesses change iteration
-// counts, not answers: every backend converges to the same 1e-12 relative
-// residual from any starting point.
+// backend ("auto" resolves per system size), wrapped in the graceful-
+// degradation ladder: the backend's result is validated (finite entries +
+// residual gate) and a breakdown or invalid output falls back primary →
+// sor-cascade → dense LU, counted per backend in FallbacksByBackend. ilu
+// hands the backend the chain-cached ILU(0) factors of a. Warm-start
+// guesses change iteration counts, not answers: every accepted solution
+// passed the same residual gate.
 func (c *Chain) solveVia(a *linalg.CSR, rhs, x0 linalg.Vector, ilu func() (*linalg.ILU0, error)) (linalg.Vector, error) {
 	solveCount.Add(1)
 	b := resolveBackend(c.Solver(), a)
-	return b.Solve(&SolveContext{A: a, B: rhs, X0: x0, ILU: ilu})
+	return solveDegrading(b, &SolveContext{A: a, B: rhs, X0: x0, ILU: ilu})
 }
 
 // cascade is the counter-free solver body (SOR -> BiCGSTAB -> dense LU);
@@ -251,7 +254,7 @@ func cascadeTail(ctx *SolveContext, sorErr error) (linalg.Vector, error) {
 	if err2 == nil {
 		return x, nil
 	}
-	if ctx.A.Rows <= 1500 {
+	if ctx.A.Rows <= denseRescueMax {
 		xd, err3 := linalg.SolveDense(ctx.A.Dense(), ctx.B)
 		if err3 == nil {
 			return xd, nil

@@ -444,9 +444,18 @@ func (pc *PatchedChain) Solve(init int, warm linalg.Vector) (*Solution, error) {
 		return sol, iters, err
 	}
 	sol, iters, err := run()
+	if err == nil {
+		// Same admission gate as the degradation ladder: a patched system
+		// solved against frozen factors must still produce a finite vector
+		// within the residual gate before it is accepted.
+		err = validateSolve(at, rhs, sol)
+	}
 	if err != nil && krylov && !pc.noRefactor {
 		pc.refactor()
 		sol, iters, err = run()
+		if err == nil {
+			err = validateSolve(at, rhs, sol)
+		}
 	}
 	if err != nil {
 		return nil, err

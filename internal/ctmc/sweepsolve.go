@@ -71,6 +71,15 @@ func (ws *SweepSolver) Solve(c *Chain, init int) (*Solution, error) {
 		} else {
 			solveCount.Add(1)
 			sol, err = ws.solveSystem(at, rhs, x0)
+			if err == nil {
+				if verr := validateSolve(at, rhs, sol); verr != nil {
+					// The warm/over-relaxed path produced an invalid
+					// vector; degrade to a cold clean cascade rather
+					// than admit it.
+					countFallback(BackendSORCascade)
+					sol, err = cascade(&SolveContext{A: at, B: rhs})
+				}
+			}
 		}
 		if err != nil {
 			return nil, err

@@ -27,12 +27,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ctmc"
+	"repro/internal/faultinject"
 )
 
 func init() { core.SetDefaultEvaluator(Default()) }
@@ -73,6 +75,21 @@ type Stats struct {
 	Entries, PreparedEntries int
 	// PreparedBytes is the estimated footprint of the prepared-model LRU.
 	PreparedBytes int64
+
+	// PanicsRecovered counts evaluations that panicked and were recovered
+	// into per-point errors (the process survived, every joiner was
+	// released); NonFiniteRejected counts finished Results refused cache
+	// admission because a field was NaN/Inf. Both are per-engine.
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	NonFiniteRejected uint64 `json:"non_finite_rejected"`
+
+	// SolverFallbacks totals the solver degradation-ladder fallbacks, and
+	// FallbacksByBackend splits them by the backend that failed. They are
+	// process-global (the ladder lives in internal/ctmc), surfaced here so
+	// /v1/stats and /healthz report solver health next to the cache
+	// accounting.
+	SolverFallbacks    uint64            `json:"solver_fallbacks"`
+	FallbacksByBackend map[string]uint64 `json:"fallbacks_by_backend,omitempty"`
 
 	// PatchedSolves, Refactorizations, and StructuralRepreps account for
 	// the incremental re-solve path: solves served by patching the cached
@@ -116,6 +133,11 @@ type Engine struct {
 	prepared *lruCache // fingerprint -> *core.Prepared, byte-budgeted
 
 	hits, misses, evals atomic.Uint64
+
+	// panicsRecovered counts evaluations that panicked and were converted
+	// to errors; nonFiniteRejected counts finished Results the cache-
+	// admission validation refused (NaN/Inf anywhere in the value).
+	panicsRecovered, nonFiniteRejected atomic.Uint64
 }
 
 // resultShard is one stripe of the Result cache.
@@ -270,13 +292,19 @@ func (e *Engine) JoinInflight(ctx context.Context, cfg core.Config) (res *core.R
 
 // evalShared is the cache/in-flight spine Eval, EvalContext, and EvalWith
 // run through: serve a recorded Result, join an in-flight evaluation of
-// the same point, or register one and run compute. Every miss path shares
+// the same point, or register one and wait on it. Every miss path shares
 // it, so the "each unique point evaluated exactly once" invariant holds
-// across concurrent Evals, batches, and warm sweeps alike. The context
-// gates only this caller: it is checked before a fresh evaluation is
-// registered and while waiting on someone else's, never mid-compute, so a
-// canceled caller can never poison the shared in-flight outcome for live
-// ones.
+// across concurrent Evals, batches, and warm sweeps alike.
+//
+// The evaluation itself runs on its own goroutine (runEval) and every
+// caller — including the one that registered it — is a joiner selecting on
+// completion versus its own context. That is what makes the engine
+// watchdog-compatible: a caller whose deadline fires mid-solve walks away
+// with ctx.Err() while the solve runs to completion in the background and
+// is cached for the next asker, and a canceled caller can never poison the
+// shared outcome for live ones. runEval also recovers panics (converted to
+// errors delivered to every joiner — never a deadlock, never a process
+// death) and refuses to admit non-finite Results to the cache.
 func (e *Engine) evalShared(ctx context.Context, key string, cfg core.Config, compute func() (*core.Result, error)) (*core.Result, error) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
@@ -287,59 +315,88 @@ func (e *Engine) evalShared(ctx context.Context, key string, cfg core.Config, co
 		r.Config = cfg // caller's own spelling; no aliasing into the cache
 		return &r, nil
 	}
-	if c, ok := sh.inflight[key]; ok {
-		sh.mu.Unlock()
-		select {
-		case <-c.done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	c, registered := sh.inflight[key], false
+	if c == nil {
+		if err := ctx.Err(); err != nil {
+			sh.mu.Unlock()
+			return nil, err
 		}
-		if c.err != nil {
-			return nil, c.err
-		}
-		e.hits.Add(1)
-		r := c.res
-		r.Config = cfg
-		return &r, nil
+		c = &inflightCall{done: make(chan struct{})}
+		sh.inflight[key] = c
+		registered = true
 	}
-	if err := ctx.Err(); err != nil {
-		sh.mu.Unlock()
-		return nil, err
-	}
-	c := &inflightCall{done: make(chan struct{})}
-	sh.inflight[key] = c
 	sh.mu.Unlock()
-	e.misses.Add(1)
-
-	// Deregister and release waiters even if compute panics; a wedged
-	// inflight entry would block every later Eval of this key forever.
-	var res *core.Result
-	var err error
-	defer func() {
-		sh.mu.Lock()
-		delete(sh.inflight, key)
-		if err == nil && res != nil {
-			c.res = *res
-			sh.results.add(key, c.res)
-		} else if err == nil {
-			err = fmt.Errorf("engine: evaluation aborted (panic in model build or solve)")
-		}
-		c.err = err
-		sh.mu.Unlock()
-		close(c.done)
-	}()
-	res, err = compute()
-	if err != nil {
-		return nil, err
+	if registered {
+		e.misses.Add(1)
+		go e.runEval(sh, key, c, compute)
 	}
-	r := *res
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if !registered {
+		e.hits.Add(1)
+	}
+	r := c.res
 	r.Config = cfg
 	return &r, nil
+}
+
+// runEval performs one registered evaluation: run compute (recovering any
+// panic into an error), validate the Result for cache admission, publish
+// to the shard, and release every joiner. It always deregisters the
+// in-flight entry and closes done — a wedged entry would block every later
+// Eval of this key forever.
+func (e *Engine) runEval(sh *resultShard, key string, c *inflightCall, compute func() (*core.Result, error)) {
+	var res *core.Result
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.panicsRecovered.Add(1)
+				res, err = nil, fmt.Errorf("%w: %v", ErrEvalPanic, p)
+			}
+		}()
+		res, err = compute()
+	}()
+	if err == nil && res == nil {
+		err = fmt.Errorf("engine: evaluation returned no result")
+	}
+	if err == nil {
+		if faultinject.Fire(faultinject.EngineNonFinite) {
+			r := *res
+			r.MTTSF = math.NaN()
+			res = &r
+		}
+		// Poison-proofing: a Result with any non-finite field is never
+		// admitted to the cache (and therefore can never reach a
+		// snapshot); it is an error to this point's callers only.
+		if verr := ValidateResult(res); verr != nil {
+			e.nonFiniteRejected.Add(1)
+			res, err = nil, fmt.Errorf("%w: %v", ErrNonFinite, verr)
+		}
+	}
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil {
+		c.res = *res
+		sh.results.add(key, c.res)
+	}
+	c.err = err
+	sh.mu.Unlock()
+	close(c.done)
 }
 
 // evaluate performs a cache miss: reuse (or build) the prepared model and
 // derive the Result from its single solve.
 func (e *Engine) evaluate(key string, cfg core.Config) (*core.Result, error) {
+	if faultinject.Fire(faultinject.EnginePanic) {
+		panic("faultinject: forced panic inside engine evaluation")
+	}
 	p, err := e.preparedFor(key, cfg)
 	if err != nil {
 		return nil, err
@@ -452,6 +509,12 @@ func (e *Engine) Stats() Stats {
 	s.PreparedEntries = e.prepared.len()
 	s.PreparedBytes = e.prepared.sizeBytes()
 	e.pmu.Unlock()
+	s.PanicsRecovered = e.panicsRecovered.Load()
+	s.NonFiniteRejected = e.nonFiniteRejected.Load()
+	s.SolverFallbacks = ctmc.Fallbacks()
+	if fb := ctmc.FallbacksByBackend(); len(fb) > 0 {
+		s.FallbacksByBackend = fb
+	}
 	s.PatchedSolves = ctmc.PatchedSolves()
 	s.Refactorizations = ctmc.Refactorizations()
 	s.StructuralRepreps = core.StructuralRepreps()
@@ -472,4 +535,6 @@ func (e *Engine) Reset() {
 	e.hits.Store(0)
 	e.misses.Store(0)
 	e.evals.Store(0)
+	e.panicsRecovered.Store(0)
+	e.nonFiniteRejected.Store(0)
 }

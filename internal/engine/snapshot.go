@@ -53,12 +53,19 @@ func (e *Engine) SnapshotEntries() []SnapshotEntry {
 // cached are skipped (a live result is never clobbered by an older
 // snapshot); admission still obeys the LRU bounds, so restoring more
 // entries than the cache holds keeps only the most recently used tail.
+// Entries carrying a non-finite Result are refused — the same poison-proof
+// admission gate as live evaluation, so a corrupted-on-disk value that
+// survived the CRC (or predates the gate) cannot re-enter the cache.
 // Callers are responsible for schema compatibility of the keys —
 // internal/persist checks SchemaFingerprint before handing entries here.
 func (e *Engine) RestoreEntries(entries []SnapshotEntry) int {
 	admitted := 0
 	for _, entry := range entries {
 		if entry.Key == "" {
+			continue
+		}
+		if ValidateResult(&entry.Result) != nil {
+			e.nonFiniteRejected.Add(1)
 			continue
 		}
 		sh := e.shardFor(entry.Key)

@@ -1,0 +1,142 @@
+//go:build !repro_nofaults
+
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// state is one enabled plan plus its per-site decision/firing counters.
+// The pointer swap in Enable/Disable is the only mutation; everything
+// inside is append-only maps of atomics behind a small mutex.
+type state struct {
+	seed  uint64
+	rates map[string]float64 // immutable after Enable
+
+	mu    sync.Mutex
+	seq   map[string]*atomic.Uint64 // per-site decision index
+	fired map[string]*atomic.Uint64 // per-site fired count
+}
+
+var active atomic.Pointer[state]
+
+// Enabled reports whether a fault plan is active. The disabled path is a
+// single atomic load — the probes below all start with it.
+func Enabled() bool { return active.Load() != nil }
+
+// Enable activates a fault plan process-wide (replacing any active one).
+// Rates must already be validated into [0,1]; ParsePlan does that.
+func Enable(p Plan) {
+	rates := make(map[string]float64, len(p.Rates))
+	for k, v := range p.Rates {
+		rates[k] = v
+	}
+	active.Store(&state{
+		seed:  p.Seed,
+		rates: rates,
+		seq:   make(map[string]*atomic.Uint64),
+		fired: make(map[string]*atomic.Uint64),
+	})
+}
+
+// Disable deactivates fault injection; every probe reverts to the
+// zero-cost false path.
+func Disable() { active.Store(nil) }
+
+// EnableFromEnv activates the plan in $REPRO_FAULTS when the variable is
+// set and parseable, reporting whether injection is now enabled. An unset
+// or empty variable is a normal production boot (false, nil).
+func EnableFromEnv() (bool, error) {
+	raw := os.Getenv(EnvVar)
+	if raw == "" {
+		return false, nil
+	}
+	p, err := ParsePlan(raw)
+	if err == nil {
+		err = validateKnownSites(p)
+	}
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", EnvVar, err)
+	}
+	Enable(p)
+	return true, nil
+}
+
+// counter returns the named per-site counter from m, creating it under the
+// lock on first use.
+func (st *state) counter(m map[string]*atomic.Uint64, site string) *atomic.Uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := m[site]
+	if !ok {
+		c = &atomic.Uint64{}
+		m[site] = c
+	}
+	return c
+}
+
+// Fire probes site once: with no active plan (or a zero rate for site) it
+// returns false; otherwise the site's next decision index is drawn against
+// its configured rate. Fired probes are counted for FiredCounts.
+func Fire(site string) bool {
+	st := active.Load()
+	if st == nil {
+		return false
+	}
+	rate, ok := st.rates[site]
+	if !ok || rate <= 0 {
+		return false
+	}
+	n := st.counter(st.seq, site).Add(1)
+	if !decide(st.seed, site, n, rate) {
+		return false
+	}
+	st.counter(st.fired, site).Add(1)
+	return true
+}
+
+// Value returns the active plan's parameter for key, or def when no plan
+// is active or the key is unset.
+func Value(key string, def float64) float64 {
+	st := active.Load()
+	if st == nil {
+		return def
+	}
+	if v, ok := st.rates[key]; ok {
+		return v
+	}
+	return def
+}
+
+// SleepFor probes site and, when it fires, sleeps for the msKey parameter
+// (default defMS milliseconds), reporting whether it slept. It is the
+// shared shape of the latency/hang sites.
+func SleepFor(site, msKey string, defMS float64) bool {
+	if !Fire(site) {
+		return false
+	}
+	time.Sleep(time.Duration(Value(msKey, defMS) * float64(time.Millisecond)))
+	return true
+}
+
+// FiredCounts snapshots how many times each site has fired since Enable
+// (sites that never fired are absent). Nil when injection is disabled.
+func FiredCounts() map[string]uint64 {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]uint64, len(st.fired))
+	for site, c := range st.fired {
+		if n := c.Load(); n > 0 {
+			out[site] = n
+		}
+	}
+	return out
+}

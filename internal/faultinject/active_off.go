@@ -1,0 +1,55 @@
+//go:build repro_nofaults
+
+package faultinject
+
+import (
+	"fmt"
+	"os"
+)
+
+// This build has fault injection compiled out: every probe is a constant
+// false the compiler inlines and eliminates, so a production binary built
+// with -tags repro_nofaults carries no injection branches at all. Enable
+// and EnableFromEnv report the truth — injection cannot be enabled here —
+// so a deployment that sets REPRO_FAULTS against a no-faults binary finds
+// out at boot instead of silently running faultless.
+
+// Enabled always reports false in a repro_nofaults build.
+func Enabled() bool { return false }
+
+// Enable is a no-op in a repro_nofaults build.
+func Enable(Plan) {}
+
+// Disable is a no-op in a repro_nofaults build.
+func Disable() {}
+
+// EnableFromEnv reports false: this binary cannot inject faults. A set
+// REPRO_FAULTS is an error (the operator asked for injection this build
+// cannot provide), and a malformed plan is diagnosed identically to the
+// injecting build.
+func EnableFromEnv() (bool, error) {
+	raw := os.Getenv(EnvVar)
+	if raw == "" {
+		return false, nil
+	}
+	p, err := ParsePlan(raw)
+	if err == nil {
+		err = validateKnownSites(p)
+	}
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", EnvVar, err)
+	}
+	return false, fmt.Errorf("%s is set but this binary was built with -tags repro_nofaults (fault injection compiled out); unset it or rebuild", EnvVar)
+}
+
+// Fire always reports false in a repro_nofaults build.
+func Fire(string) bool { return false }
+
+// Value always returns the default in a repro_nofaults build.
+func Value(_ string, def float64) float64 { return def }
+
+// SleepFor never sleeps in a repro_nofaults build.
+func SleepFor(string, string, float64) bool { return false }
+
+// FiredCounts is always nil in a repro_nofaults build.
+func FiredCounts() map[string]uint64 { return nil }

@@ -1,0 +1,210 @@
+// Package faultinject is the deterministic fault-injection seam the chaos
+// suite drives the system's failure paths through. Production code calls
+// Fire(site) at each injection point; when no plan is active that is a
+// single atomic pointer load returning false, and a build with the
+// repro_nofaults tag compiles every probe down to a constant false — the
+// seam costs nothing where it is not used.
+//
+// A plan is seed-driven and fully deterministic per decision index: the
+// k-th probe of a site fires iff a splitmix64 hash of (seed, site, k)
+// falls under the site's configured rate. Two runs with the same seed and
+// the same per-site probe counts therefore inject the same fault schedule
+// (under concurrency the assignment of indices to goroutines follows the
+// scheduler, but the multiset of decisions per site is identical), which
+// is what lets CI run the chaos suite over a fixed seed matrix.
+//
+// The operator-facing knob is the REPRO_FAULTS environment variable:
+//
+//	REPRO_FAULTS="seed=42,solver.breakdown=0.2,http.err5xx=0.05,solver.hang_ms=100"
+//
+// Keys ending in "_ms" (and "seed") are parameters, everything else is a
+// firing probability in [0,1] for the named site. EnableFromEnv rejects
+// site names this build does not know: a typo'd site would arm a chaos run
+// that silently tests nothing, which is worse than no run. Programmatic
+// Enable stays permissive (an unregistered site simply never probes), so
+// tests can use synthetic site names.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Injection-site and parameter names. Sites are probabilities; *_ms names
+// are millisecond parameters read with Value.
+const (
+	// SolverBreakdown forces the primary solver backend to report a
+	// breakdown before attempting the solve (ctmc degradation ladder).
+	SolverBreakdown = "solver.breakdown"
+	// SolverNonFinite corrupts the primary backend's solution vector with
+	// a NaN, exercising the finite/residual validation gate.
+	SolverNonFinite = "solver.nonfinite"
+	// SolverHang stalls the primary solve attempt for SolverHangMS
+	// milliseconds, exercising the service's per-solve watchdog.
+	SolverHang   = "solver.hang"
+	SolverHangMS = "solver.hang_ms"
+
+	// EnginePanic panics inside an engine evaluation (recovered, converted
+	// to an error, propagated to all in-flight joiners).
+	EnginePanic = "engine.panic"
+	// EngineNonFinite corrupts a finished Result with a NaN after the
+	// solve, exercising the engine's cache-admission validation.
+	EngineNonFinite = "engine.nonfinite"
+
+	// PersistTorn tears a snapshot save: half the container bytes are
+	// written to the final path (bypassing the atomic tmp+rename, as a
+	// crash or non-atomic filesystem would) and the save reports an error.
+	PersistTorn = "persist.torn"
+	// PersistFsync fails the snapshot fsync, exercising the checkpointer's
+	// error backoff without touching the previous file.
+	PersistFsync = "persist.fsync"
+
+	// HTTPErr5xx answers an eval/batch request with a transient 503 before
+	// the handler runs (retrying-client exercise).
+	HTTPErr5xx = "http.err5xx"
+	// HTTPReset aborts the HTTP connection mid-request, which the client
+	// observes as a transport error.
+	HTTPReset = "http.reset"
+	// HTTPLatency delays a request by HTTPLatencyMS milliseconds.
+	HTTPLatency   = "http.latency"
+	HTTPLatencyMS = "http.latency_ms"
+)
+
+// EnvVar names the environment variable EnableFromEnv reads a plan from.
+const EnvVar = "REPRO_FAULTS"
+
+// knownKeys enumerates every site and parameter this build probes;
+// EnableFromEnv validates operator plans against it.
+var knownKeys = map[string]bool{
+	SolverBreakdown: true,
+	SolverNonFinite: true,
+	SolverHang:      true,
+	SolverHangMS:    true,
+	EnginePanic:     true,
+	EngineNonFinite: true,
+	PersistTorn:     true,
+	PersistFsync:    true,
+	HTTPErr5xx:      true,
+	HTTPReset:       true,
+	HTTPLatency:     true,
+	HTTPLatencyMS:   true,
+}
+
+// validateKnownSites rejects plans naming sites this build does not probe.
+func validateKnownSites(p Plan) error {
+	var unknown []string
+	for k := range p.Rates {
+		if !knownKeys[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	known := make([]string, 0, len(knownKeys))
+	for k := range knownKeys {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return fmt.Errorf("faultinject: unknown site(s) %s (this build probes: %s)",
+		strings.Join(unknown, ", "), strings.Join(known, ", "))
+}
+
+// Plan is one fault schedule: a seed plus per-site firing rates and
+// parameters.
+type Plan struct {
+	// Seed drives the deterministic per-site decision stream.
+	Seed uint64
+	// Rates maps site names to firing probabilities in [0,1]; keys ending
+	// in "_ms" are parameters (milliseconds) read with Value instead.
+	Rates map[string]float64
+}
+
+// String renders the plan in the REPRO_FAULTS syntax, deterministically
+// ordered, so daemons can log exactly what they enabled.
+func (p Plan) String() string {
+	keys := make([]string, 0, len(p.Rates))
+	for k := range p.Rates {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s=%g", k, p.Rates[k])
+	}
+	return b.String()
+}
+
+// isParam reports whether key names a parameter rather than a firing rate.
+func isParam(key string) bool { return strings.HasSuffix(key, "_ms") }
+
+// ParsePlan parses the REPRO_FAULTS syntax: comma-separated key=value
+// pairs, where "seed" sets the seed, "*_ms" keys are parameters, and every
+// other key is a site rate validated into [0,1].
+func ParsePlan(s string) (Plan, error) {
+	p := Plan{Seed: 1, Rates: make(map[string]float64)}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return Plan{}, fmt.Errorf("faultinject: %q is not key=value", field)
+		}
+		if key == "seed" {
+			seed, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faultinject: bad seed %q: %v", val, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultinject: bad value for %q: %v", key, err)
+		}
+		if !isParam(key) && (f < 0 || f > 1) {
+			return Plan{}, fmt.Errorf("faultinject: rate %s=%g outside [0,1]", key, f)
+		}
+		p.Rates[key] = f
+	}
+	return p, nil
+}
+
+// splitmix64 is the avalanche mixer behind the deterministic decision
+// stream (same finalizer the SPN marking interner uses).
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// siteHash folds a site name into the decision stream (FNV-1a).
+func siteHash(site string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decide reports whether probe number n of site (under seed) fires at
+// rate: the hash maps (seed, site, n) onto a uniform [0,1) variate.
+func decide(seed uint64, site string, n uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	u := splitmix64(seed ^ siteHash(site) ^ splitmix64(n))
+	return float64(u>>11)/(1<<53) < rate
+}

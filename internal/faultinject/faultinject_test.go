@@ -1,0 +1,169 @@
+//go:build !repro_nofaults
+
+package faultinject
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42, solver.breakdown=0.25,http.err5xx=1, solver.hang_ms=150")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	if p.Rates[SolverBreakdown] != 0.25 || p.Rates[HTTPErr5xx] != 1 || p.Rates[SolverHangMS] != 150 {
+		t.Errorf("rates = %v", p.Rates)
+	}
+
+	for _, bad := range []string{"seed=abc", "solver.breakdown=1.5", "solver.breakdown=-0.1", "noequals", "=0.5"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+
+	// Parameters are exempt from the [0,1] rate bound.
+	if _, err := ParsePlan("http.latency_ms=500"); err != nil {
+		t.Errorf("parameter rejected: %v", err)
+	}
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() with no plan")
+	}
+	for i := 0; i < 100; i++ {
+		if Fire(SolverBreakdown) {
+			t.Fatal("Fire with no plan")
+		}
+	}
+	if v := Value(SolverHangMS, 123); v != 123 {
+		t.Errorf("Value default = %v, want 123", v)
+	}
+	if FiredCounts() != nil {
+		t.Error("FiredCounts with no plan should be nil")
+	}
+}
+
+// TestDeterministicSchedule pins the core property CI's seed matrix rests
+// on: the same seed yields the same per-site firing schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	t.Cleanup(Disable)
+	run := func(seed uint64) []bool {
+		Enable(Plan{Seed: seed, Rates: map[string]float64{SolverBreakdown: 0.3}})
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = Fire(SolverBreakdown)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at probe %d under the same seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// The empirical rate should be near 0.3 (binomial, n=1000).
+	if rate := float64(fired) / 1000; math.Abs(rate-0.3) > 0.08 {
+		t.Errorf("empirical rate %.3f, want ~0.3", rate)
+	}
+	c := run(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestFiredCountsAndValue(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable(Plan{Seed: 1, Rates: map[string]float64{
+		EnginePanic:   1,
+		SolverHang:    0,
+		SolverHangMS:  250,
+		HTTPLatencyMS: 0,
+	}})
+	if !Enabled() {
+		t.Fatal("not enabled")
+	}
+	for i := 0; i < 5; i++ {
+		if !Fire(EnginePanic) {
+			t.Fatal("rate-1 site did not fire")
+		}
+		if Fire(SolverHang) {
+			t.Fatal("rate-0 site fired")
+		}
+		if Fire("no.such.site") {
+			t.Fatal("unconfigured site fired")
+		}
+	}
+	got := FiredCounts()
+	if got[EnginePanic] != 5 {
+		t.Errorf("FiredCounts[%s] = %d, want 5", EnginePanic, got[EnginePanic])
+	}
+	if _, ok := got[SolverHang]; ok {
+		t.Error("never-fired site present in FiredCounts")
+	}
+	if v := Value(SolverHangMS, 1); v != 250 {
+		t.Errorf("Value(%s) = %v, want 250", SolverHangMS, v)
+	}
+	if v := Value(HTTPLatencyMS, 99); v != 0 {
+		t.Errorf("explicit zero parameter = %v, want 0", v)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p, err := ParsePlan("seed=9,b.site=0.5,a.site=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.String(), "seed=9,a.site=0.25,b.site=0.5"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// Round trip.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Seed != p.Seed || len(p2.Rates) != len(p.Rates) {
+		t.Errorf("round trip lost data: %v vs %v", p2, p)
+	}
+}
+
+func TestEnableFromEnvRejectsUnknownSites(t *testing.T) {
+	t.Cleanup(Disable)
+	// A typo'd site name must refuse to arm: the operator asked for a
+	// chaos schedule this build would silently never probe.
+	t.Setenv(EnvVar, "seed=42,http.bogus=0.5")
+	if _, err := EnableFromEnv(); err == nil {
+		t.Fatal("EnableFromEnv armed a plan with an unknown site")
+	} else if !strings.Contains(err.Error(), "http.bogus") {
+		t.Errorf("error %v does not name the unknown site", err)
+	}
+	if Enabled() {
+		t.Fatal("injection enabled despite the rejected plan")
+	}
+	// Every documented site (rates and _ms parameters) must pass.
+	t.Setenv(EnvVar, "seed=1,solver.breakdown=0.1,solver.nonfinite=0.1,"+
+		"solver.hang=0.1,solver.hang_ms=5,engine.panic=0.1,engine.nonfinite=0.1,"+
+		"persist.torn=0.1,persist.fsync=0.1,http.err5xx=0.1,http.reset=0.1,"+
+		"http.latency=0.1,http.latency_ms=5")
+	if armed, err := EnableFromEnv(); err != nil {
+		t.Fatalf("full known-site plan rejected: %v", err)
+	} else if !armed {
+		t.Fatal("full known-site plan did not arm")
+	}
+}

@@ -15,6 +15,13 @@ import (
 // boot. Saves are skipped while the cache contents are unchanged (same
 // eval/eviction counters), keeping an idle server from rewriting an
 // identical file every interval.
+//
+// Saves rotate generations (SaveRotating): the previous snapshot moves to
+// PrevPath before the new one is published, so a save that dies mid-write
+// can never cost more than one interval of cache warmth. Consecutive save
+// failures back off exponentially — a full disk at every tick should not
+// spin the write path — and the failure state is visible through Status so
+// the serving layer can report it on /v1/stats and /healthz.
 type Checkpointer struct {
 	engine   *engine.Engine
 	path     string
@@ -27,14 +34,49 @@ type Checkpointer struct {
 	// previous save are dropped from disk rather than accreted.
 	Logf func(format string, args ...any)
 
-	mu        sync.Mutex // serializes saves; guards lastStamp
+	mu        sync.Mutex // serializes saves; guards lastStamp and status
 	lastStamp [2]uint64  // (Evals, Evictions) at the last successful save
+
+	// Backoff and health, guarded by mu. skipTicks counts interval ticks
+	// the loop will skip before the next attempt; it doubles (capped) with
+	// each consecutive failure and resets on success. Forced saves (Save,
+	// Stop) always attempt regardless.
+	failures    int
+	skipTicks   int
+	lastSuccess time.Time
+	lastErr     error
+	lastErrTime time.Time
+	savesOK     uint64
+	savesFailed uint64
 
 	started  atomic.Bool
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// CheckpointStatus is a point-in-time health report of the checkpoint
+// loop, consumed by the serving layer for /v1/stats and /healthz.
+type CheckpointStatus struct {
+	// LastSuccess is the last time the on-disk snapshot was known current
+	// (a completed save, or a tick that verified the cache unchanged).
+	// Zero until the first successful save.
+	LastSuccess time.Time
+	// LastError is the most recent save failure ("" when the last attempt
+	// succeeded); LastErrorTime is when it happened.
+	LastError     string
+	LastErrorTime time.Time
+	// ConsecutiveFailures counts failed attempts since the last success;
+	// the periodic loop is currently backing off when it is non-zero.
+	ConsecutiveFailures int
+	SavesOK             uint64
+	SavesFailed         uint64
+}
+
+// backoffCap bounds the exponential backoff at 64 skipped intervals
+// between attempts — persistent failure still gets probed, just not every
+// tick.
+const backoffCap = 6
 
 // NewCheckpointer builds a checkpointer writing e's cache to path every
 // interval (minimum 1s; zero or negative selects 5 minutes). Call Start to
@@ -70,6 +112,9 @@ func (c *Checkpointer) Start(onError func(error)) {
 		for {
 			select {
 			case <-ticker.C:
+				if c.skipThisTick() {
+					continue
+				}
 				if err := c.save(false); err != nil && onError != nil {
 					onError(err)
 				}
@@ -78,6 +123,18 @@ func (c *Checkpointer) Start(onError func(error)) {
 			}
 		}
 	}()
+}
+
+// skipThisTick consumes one backoff tick, reporting whether the periodic
+// loop should sit this interval out.
+func (c *Checkpointer) skipThisTick() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.skipTicks > 0 {
+		c.skipTicks--
+		return true
+	}
+	return false
 }
 
 // Stop halts the periodic loop (if Start ever ran) and writes one final
@@ -95,19 +152,40 @@ func (c *Checkpointer) Stop() error {
 	return err
 }
 
-// Save forces an immediate snapshot regardless of staleness tracking.
+// Save forces an immediate snapshot regardless of staleness tracking and
+// backoff.
 func (c *Checkpointer) Save() error { return c.save(true) }
 
+// Status reports the checkpoint loop's current health.
+func (c *Checkpointer) Status() CheckpointStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CheckpointStatus{
+		LastSuccess:         c.lastSuccess,
+		LastErrorTime:       c.lastErrTime,
+		ConsecutiveFailures: c.failures,
+		SavesOK:             c.savesOK,
+		SavesFailed:         c.savesFailed,
+	}
+	if c.lastErr != nil {
+		st.LastError = c.lastErr.Error()
+	}
+	return st
+}
+
 // save snapshots the cache; unless forced, an unchanged cache (same eval
-// and eviction counters as the last successful save) is skipped. Each save
-// rewrites the snapshot from the live LRU entries — a compaction, not an
-// append — and reports the size delta through Logf when one is set.
+// and eviction counters as the last successful save) is skipped — and
+// counted as a success for freshness, since the on-disk snapshot is
+// verifiably current. Each save rotates generations and rewrites the
+// snapshot from the live LRU entries — a compaction, not an append — and
+// reports the size delta through Logf when one is set.
 func (c *Checkpointer) save(force bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.engine.Stats()
 	stamp := [2]uint64{st.Evals, st.Evictions}
 	if !force && stamp == c.lastStamp {
+		c.noteSuccess()
 		return nil
 	}
 	var before int64
@@ -115,7 +193,8 @@ func (c *Checkpointer) save(force bool) error {
 		before = fi.Size()
 	}
 	entries := c.engine.SnapshotEntries()
-	if err := Save(c.path, entries); err != nil {
+	if err := SaveRotating(c.path, entries); err != nil {
+		c.noteFailure(err)
 		return err
 	}
 	if c.Logf != nil {
@@ -126,5 +205,24 @@ func (c *Checkpointer) save(force bool) error {
 		c.Logf("checkpoint: compacted snapshot to %d live entries, %d -> %d bytes", len(entries), before, after)
 	}
 	c.lastStamp = stamp
+	c.noteSuccess()
+	c.savesOK++
 	return nil
+}
+
+// noteSuccess and noteFailure maintain the backoff and health state;
+// callers hold mu.
+func (c *Checkpointer) noteSuccess() {
+	c.failures = 0
+	c.skipTicks = 0
+	c.lastErr = nil
+	c.lastSuccess = time.Now()
+}
+
+func (c *Checkpointer) noteFailure(err error) {
+	c.failures++
+	c.skipTicks = 1<<min(c.failures, backoffCap) - 1
+	c.lastErr = err
+	c.lastErrTime = time.Now()
+	c.savesFailed++
 }

@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 )
 
 var magic = [8]byte{'R', 'E', 'P', 'R', 'O', 'S', 'N', 'P'}
@@ -78,6 +79,17 @@ func saveWithSchema(path, schema string, entries []engine.SnapshotEntry) error {
 	buf.Write(payload.Bytes())
 	binary.Write(&buf, binary.BigEndian, crc64.Checksum(payload.Bytes(), crcTable))
 
+	// Injected torn write: model the worst case the atomic tmp+rename path
+	// is designed to prevent — a crash (or a filesystem without atomic
+	// rename) leaving half a container at the published path. The recovery
+	// story (generation rotation + WarmStartAuto fallback) must survive it.
+	if faultinject.Fire(faultinject.PersistTorn) {
+		torn := buf.Bytes()[:buf.Len()/2]
+		os.WriteFile(path, torn, 0o644)
+		return fmt.Errorf("persist: %w: injected torn write (%d of %d bytes) at %s",
+			ErrCorrupt, len(torn), buf.Len(), path)
+	}
+
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -87,6 +99,10 @@ func saveWithSchema(path, schema string, entries []engine.SnapshotEntry) error {
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if faultinject.Fire(faultinject.PersistFsync) {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing snapshot: injected fsync failure")
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -163,6 +179,66 @@ func Load(path string) ([]engine.SnapshotEntry, error) {
 // SaveEngine snapshots e's result cache to path.
 func SaveEngine(e *engine.Engine, path string) error {
 	return Save(path, e.SnapshotEntries())
+}
+
+// prevSuffix names the previous snapshot generation next to the current
+// one. Two generations is the whole rotation scheme: enough that one torn
+// or corrupted current file never costs the warm cache, cheap enough that
+// nothing needs garbage collection.
+const prevSuffix = ".prev"
+
+// PrevPath returns the previous-generation path for a snapshot at path.
+func PrevPath(path string) string { return path + prevSuffix }
+
+// SaveRotating writes entries at path after first rotating any existing
+// snapshot to PrevPath(path). If the new write fails — including a torn
+// write that leaves garbage at path — the previous generation survives
+// intact for WarmStartAuto to fall back to. The rotation itself is a
+// same-directory rename, atomic on POSIX filesystems.
+func SaveRotating(path string, entries []engine.SnapshotEntry) error {
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, PrevPath(path)); err != nil {
+			return fmt.Errorf("persist: rotating snapshot generation: %w", err)
+		}
+	}
+	return Save(path, entries)
+}
+
+// WarmStartAuto loads the freshest valid snapshot generation into e: the
+// current file at path first, then PrevPath(path) if the current one is
+// missing, torn, corrupt, or stale. It returns the entries admitted and
+// which generation served them ("current", "previous", or "" for a cold
+// boot). The error is non-nil only when a snapshot existed but no
+// generation could be loaded; a fallback that succeeds is not an error —
+// the reason the current generation was skipped is reported through logf
+// (which may be nil) so operators can see the degraded load without
+// treating it as a cold boot.
+func WarmStartAuto(e *engine.Engine, path string, logf func(format string, args ...any)) (int, string, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries, err := Load(path)
+	if err == nil {
+		return e.RestoreEntries(entries), "current", nil
+	}
+	currentMissing := errors.Is(err, os.ErrNotExist)
+	if !currentMissing {
+		logf("persist: current snapshot unusable (%v); trying previous generation", err)
+	}
+	prev, perr := Load(PrevPath(path))
+	if perr == nil {
+		return e.RestoreEntries(prev), "previous", nil
+	}
+	if errors.Is(perr, os.ErrNotExist) {
+		if currentMissing {
+			return 0, "", nil // genuine cold boot: no snapshot was ever written
+		}
+		return 0, "", err // current bad, no previous to fall back to
+	}
+	if currentMissing {
+		return 0, "", perr
+	}
+	return 0, "", fmt.Errorf("%w (previous generation also unusable: %v)", err, perr)
 }
 
 // WarmStart loads the snapshot at path into e's result cache and returns

@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// fastPolicy keeps retry tests quick.
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	}
+}
+
+// flakyHandler answers failures times with status, then delegates to next.
+func flakyHandler(failures int, status int, next http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failures) {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, status, ErrorResponse{Error: "injected transient failure"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &calls
+}
+
+// TestClientRetriesTransient pins the retry loop: 5xx and 429 burn
+// attempts with backoff until the server recovers, and the caller never
+// sees the transient failures.
+func TestClientRetriesTransient(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		eng := engine.New(engine.Options{})
+		h, calls := flakyHandler(2, status, New(Options{Backend: eng}))
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+
+		client := NewResilientClient(ts.URL, ts.Client(), fastPolicy())
+		res, err := client.Analyze(context.Background(), testConfig())
+		if err != nil {
+			t.Fatalf("status %d: %v", status, err)
+		}
+		if res.MTTSF <= 0 {
+			t.Fatalf("status %d: bad result %v", status, res.MTTSF)
+		}
+		if got := calls.Load(); got != 3 {
+			t.Errorf("status %d: server saw %d attempts, want 3", status, got)
+		}
+		if st := client.RetryStats(); st.Retries != 2 {
+			t.Errorf("status %d: Retries = %d, want 2", status, st.Retries)
+		}
+	}
+}
+
+// TestClientDoesNotRetryPermanent pins that 4xx (other than 429) fails
+// immediately — retrying a malformed request is pure waste.
+func TestClientDoesNotRetryPermanent(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusUnprocessableEntity, nil)
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	client := NewResilientClient(ts.URL, ts.Client(), fastPolicy())
+	if _, err := client.Analyze(context.Background(), testConfig()); err == nil {
+		t.Fatal("permanent failure retried into a success?")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts for a 422, want 1", got)
+	}
+}
+
+// TestLegacyClientFailsFast pins the backward-compatible contract:
+// NewClient does one attempt and surfaces 429 as ErrOverloaded for the
+// caller's own pacing.
+func TestLegacyClientFailsFast(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusTooManyRequests, nil)
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	client := NewClient(ts.URL, ts.Client())
+	if _, err := client.Analyze(context.Background(), testConfig()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("legacy client made %d attempts, want 1", got)
+	}
+}
+
+// TestCircuitBreaker walks the breaker through its whole state machine:
+// closed -> open after the threshold, fast-fails while open, half-open
+// probe after the cooldown, closed again on probe success.
+func TestCircuitBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	eng := engine.New(engine.Options{})
+	srv := New(Options{Backend: eng})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "down"})
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	const cooldown = 50 * time.Millisecond
+	client := NewResilientClient(ts.URL, ts.Client(), RetryPolicy{
+		MaxAttempts:      1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  cooldown,
+	})
+	ctx := context.Background()
+	cfg := testConfig()
+
+	// Three consecutive failures trip the breaker...
+	for i := 0; i < 3; i++ {
+		if _, err := client.Analyze(ctx, cfg); err == nil || errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("request %d: err = %v, want plain 503 failure", i, err)
+		}
+	}
+	// ...after which requests fail fast without touching the wire.
+	if _, err := client.Analyze(ctx, cfg); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	st := client.RetryStats()
+	if st.BreakerOpens != 1 || st.BreakerFastFails == 0 {
+		t.Fatalf("breaker stats after trip: %+v", st)
+	}
+
+	// Probe fails -> breaker re-opens for another cooldown.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if _, err := client.Analyze(ctx, cfg); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe: err = %v, want plain failure", err)
+	}
+	if _, err := client.Analyze(ctx, cfg); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("after failed probe: err = %v, want ErrCircuitOpen", err)
+	}
+	if st := client.RetryStats(); st.BreakerOpens != 2 {
+		t.Fatalf("BreakerOpens = %d after failed probe, want 2", st.BreakerOpens)
+	}
+
+	// Server recovers; the next probe closes the circuit for good.
+	healthy.Store(true)
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if _, err := client.Analyze(ctx, cfg); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if _, err := client.Analyze(ctx, cfg); err != nil {
+		t.Fatalf("closed circuit: %v", err)
+	}
+}
+
+// panickingBackend blows up on every evaluation — the HTTP layer, not the
+// engine, must contain it.
+type panickingBackend struct{}
+
+func (panickingBackend) EvalContext(context.Context, core.Config) (*core.Result, error) {
+	panic("backend exploded")
+}
+func (panickingBackend) Cached(core.Config) (*core.Result, bool) { return nil, false }
+func (panickingBackend) JoinInflight(context.Context, core.Config) (*core.Result, bool, error) {
+	return nil, false, nil
+}
+func (panickingBackend) Stats() engine.Stats { return engine.Stats{} }
+func (panickingBackend) WorkerBound() int    { return 2 }
+
+// TestPanicRecoveryMiddleware pins that a handler-level panic becomes a
+// counted 500 and the server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv := New(Options{Backend: panickingBackend{}})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+
+	_, err := client.Analyze(context.Background(), testConfig())
+	if err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("err = %v, want HTTP 500", err)
+	}
+	if got := srv.Stats().PanicsRecovered; got != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", got)
+	}
+	// Still serving: stats and health answer normally.
+	if err := client.Health(context.Background()); err != nil {
+		t.Errorf("health after panic: %v", err)
+	}
+}
+
+// TestWatchdogTimeout pins the per-solve watchdog: a solve that outlives
+// SolveTimeout is abandoned with a 503 and counted, without waiting for
+// the client's (much longer) deadline.
+func TestWatchdogTimeout(t *testing.T) {
+	backend := &blockingBackend{started: make(chan struct{}, 8), release: make(chan struct{})}
+	defer close(backend.release)
+	srv := New(Options{Backend: backend, SolveTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	_, err := client.Analyze(ctx, testConfig())
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("err = %v, want watchdog 503", err)
+	}
+	if waited := time.Since(t0); waited > 10*time.Second {
+		t.Fatalf("watchdog answer took %v", waited)
+	}
+	if got := srv.Stats().WatchdogTimeouts; got != 1 {
+		t.Errorf("WatchdogTimeouts = %d, want 1", got)
+	}
+}
+
+// TestHealthzDrainingAndDegraded pins the health surface: ok when clean,
+// degraded when resilience counters move, 503 draining once shutdown
+// begins.
+func TestHealthzDrainingAndDegraded(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	srv := New(Options{Backend: eng})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	hs, err := client.HealthStatus(ctx)
+	if err != nil || hs.Status != "ok" {
+		t.Fatalf("clean health = (%+v, %v), want ok", hs, err)
+	}
+
+	// A recovered panic moves the counters -> degraded within the window.
+	srv.panicsRecovered.Add(1)
+	hs, err = client.HealthStatus(ctx)
+	if err != nil || hs.Status != "degraded" {
+		t.Fatalf("health after incident = (%+v, %v), want degraded", hs, err)
+	}
+	if hs.PanicsRecovered != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", hs.PanicsRecovered)
+	}
+
+	// Draining wins over everything and flips the status code to 503.
+	srv.SetDraining(true)
+	if err := client.Health(ctx); err == nil {
+		t.Fatal("Health succeeded against a draining server")
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"draining"`) {
+		t.Fatalf("draining healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	srv.SetDraining(false)
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health after drain cleared: %v", err)
+	}
+}
+
+// TestParseRetryAfter covers the header forms the client honors.
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0}, {"2", 2 * time.Second}, {"0", 0}, {"-1", 0}, {"soon", 0},
+	} {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.header != "" {
+			resp.Header.Set("Retry-After", tc.header)
+		}
+		if got := parseRetryAfter(resp); got != tc.want {
+			t.Errorf("Retry-After %q: %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

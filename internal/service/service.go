@@ -30,11 +30,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/persist"
 )
 
 // Backend is the evaluation surface the service fronts. *engine.Engine
@@ -75,6 +78,16 @@ type Options struct {
 	// payloads get 413 without being buffered, so oversized posts cannot
 	// OOM the daemon before MaxBatchPoints is even checked.
 	MaxBodyBytes int64
+	// SolveTimeout, when positive, is the per-point watchdog: an
+	// evaluation that has not answered within it is abandoned with a 503
+	// (the engine keeps solving in the background and caches the result,
+	// so a retry after the Retry-After lands warm). 0 disables the
+	// watchdog; client contexts still bound requests.
+	SolveTimeout time.Duration
+	// CheckpointStatus, when set, feeds the checkpoint loop's health into
+	// GET /v1/stats and /healthz (cmd/server wires the Checkpointer's
+	// Status method here).
+	CheckpointStatus func() persist.CheckpointStatus
 }
 
 // Stats counts the service-level request traffic (the engine keeps its own
@@ -90,21 +103,42 @@ type Stats struct {
 	// slot; MaxInflight is the cap.
 	Inflight    int `json:"inflight"`
 	MaxInflight int `json:"max_inflight"`
+	// PanicsRecovered counts handler panics converted to 500s by the
+	// recovery middleware (engine-internal panics are recovered deeper and
+	// counted in the engine stats).
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// WatchdogTimeouts counts point evaluations abandoned by the
+	// SolveTimeout watchdog.
+	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
+	// Draining reports that shutdown has begun: /healthz answers 503 so
+	// load balancers stop routing here while in-flight requests finish.
+	Draining bool `json:"draining"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Server is the HTTP front end; it implements http.Handler.
 type Server struct {
-	backend  Backend
-	sem      chan struct{} // admission: whole requests
-	evalSem  chan struct{} // solver work: individual point evaluations
-	maxBatch int
-	maxBody  int64
-	mux      *http.ServeMux
-	started  time.Time
+	backend      Backend
+	sem          chan struct{} // admission: whole requests
+	evalSem      chan struct{} // solver work: individual point evaluations
+	maxBatch     int
+	maxBody      int64
+	solveTimeout time.Duration
+	ckptStatus   func() persist.CheckpointStatus
+	mux          *http.ServeMux
+	started      time.Time
 
-	requests, points, rejected atomic.Uint64
+	requests, points, rejected        atomic.Uint64
+	panicsRecovered, watchdogTimeouts atomic.Uint64
+	draining                          atomic.Bool
+
+	// Degraded-state tracking for /healthz: each probe compares the
+	// resilience counters to the previous probe's and stamps an incident
+	// when they moved; "degraded" means an incident within the window.
+	healthMu     sync.Mutex
+	lastCounters [4]uint64
+	lastIncident time.Time
 }
 
 // New constructs a Server over opts.Backend.
@@ -126,14 +160,22 @@ func New(opts Options) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		backend:  opts.Backend,
-		sem:      make(chan struct{}, opts.MaxInflight),
-		evalSem:  make(chan struct{}, workers),
-		maxBatch: opts.MaxBatchPoints,
-		maxBody:  opts.MaxBodyBytes,
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
+		backend:      opts.Backend,
+		sem:          make(chan struct{}, opts.MaxInflight),
+		evalSem:      make(chan struct{}, workers),
+		maxBatch:     opts.MaxBatchPoints,
+		maxBody:      opts.MaxBodyBytes,
+		solveTimeout: opts.SolveTimeout,
+		ckptStatus:   opts.CheckpointStatus,
+		mux:          http.NewServeMux(),
+		started:      time.Now(),
 	}
+	// Baseline the health-probe incident detector at construction: some
+	// backend counters (the ctmc fallback tallies) are process-global, so
+	// history from before this server existed must not read as a fresh
+	// incident on the first /healthz probe.
+	est := opts.Backend.Stats()
+	s.lastCounters = [4]uint64{est.SolverFallbacks, est.PanicsRecovered, 0, 0}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -141,18 +183,64 @@ func New(opts Options) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes two layers of
+// hardening before routing: a panic-recovery middleware (a handler or
+// backend panic becomes a counted 500, not a dead process — except
+// http.ErrAbortHandler, net/http's sanctioned way to abort a connection,
+// which is re-raised) and the transport fault-injection seam (injected
+// 503s, connection resets, latency — never on /healthz, so chaos tests can
+// still probe liveness out-of-band).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panicsRecovered.Add(1)
+		// Best effort: if the handler already wrote headers the client
+		// sees a truncated body and fails its decode, which is also safe.
+		writeJSON(w, http.StatusInternalServerError,
+			ErrorResponse{Error: fmt.Sprintf("service: internal error (recovered panic): %v", rec)})
+	}()
+	if r.URL.Path != "/healthz" {
+		faultinject.SleepFor(faultinject.HTTPLatency, faultinject.HTTPLatencyMS, 50)
+		if faultinject.Fire(faultinject.HTTPReset) {
+			panic(http.ErrAbortHandler)
+		}
+		// No Retry-After on the injected 503: the fault models an
+		// arbitrary upstream 5xx, not admission control, so the client
+		// must fall back to its own backoff schedule. The genuine 429
+		// and watchdog paths keep their Retry-After hints.
+		if faultinject.Fire(faultinject.HTTPErr5xx) {
+			writeJSON(w, http.StatusServiceUnavailable,
+				ErrorResponse{Error: "service: injected transient failure; retry"})
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the server into (or out of) draining: /healthz answers
+// 503 so load balancers and orchestrators stop sending new traffic, while
+// already-admitted requests run to completion. cmd/server flips it on
+// SIGTERM before http.Server.Shutdown.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
 
 // Stats snapshots the service-level counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:      s.requests.Load(),
-		Points:        s.points.Load(),
-		Rejected:      s.rejected.Load(),
-		Inflight:      len(s.sem),
-		MaxInflight:   cap(s.sem),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:         s.requests.Load(),
+		Points:           s.points.Load(),
+		Rejected:         s.rejected.Load(),
+		Inflight:         len(s.sem),
+		MaxInflight:      cap(s.sem),
+		PanicsRecovered:  s.panicsRecovered.Load(),
+		WatchdogTimeouts: s.watchdogTimeouts.Load(),
+		Draining:         s.draining.Load(),
+		UptimeSeconds:    time.Since(s.started).Seconds(),
 	}
 }
 
@@ -186,6 +274,35 @@ type BatchResponse struct {
 type StatsResponse struct {
 	Engine  engine.Stats `json:"engine"`
 	Service Stats        `json:"service"`
+	// Checkpoint reports the snapshot loop's health when the daemon runs
+	// one (absent under go test's in-process servers without persistence).
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+}
+
+// CheckpointStats is the wire form of persist.CheckpointStatus.
+type CheckpointStats struct {
+	// LastSaveAgeSec is the seconds since the on-disk snapshot was last
+	// known current; -1 until the first successful save.
+	LastSaveAgeSec float64 `json:"last_save_age_sec"`
+	// LastSaveError is the most recent save failure ("" when healthy).
+	LastSaveError       string `json:"last_save_error,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	SavesOK             uint64 `json:"saves_ok"`
+	SavesFailed         uint64 `json:"saves_failed"`
+}
+
+// HealthResponse is the GET /healthz body. Status is "ok", "degraded"
+// (serving, but resilience machinery fired recently — solver fallbacks,
+// recovered panics, watchdog timeouts, or a failing checkpoint loop), or
+// "draining" (shutting down; the response carries HTTP 503 so load
+// balancers stop routing here).
+type HealthResponse struct {
+	Status           string  `json:"status"`
+	SolverFallbacks  uint64  `json:"solver_fallbacks"`
+	PanicsRecovered  uint64  `json:"panics_recovered"`
+	WatchdogTimeouts uint64  `json:"watchdog_timeouts"`
+	CheckpointAgeSec float64 `json:"checkpoint_age_sec,omitempty"`
+	CheckpointError  string  `json:"checkpoint_error,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -229,6 +346,29 @@ func (s *Server) evalPoint(ctx context.Context, cfg core.Config) (*core.Result, 
 	if res, ok := s.backend.Cached(cfg); ok {
 		return res, nil
 	}
+	// The watchdog bounds how long this request waits for the point:
+	// when it fires, the response is a 503 and the engine's evaluation
+	// keeps running in the background — the result lands in the cache, so
+	// the client's retry is served warm instead of restarting the solve.
+	if s.solveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.solveTimeout, errWatchdog)
+		defer cancel()
+	}
+	res, err := s.evalPointInner(ctx, cfg)
+	if err != nil && errors.Is(context.Cause(ctx), errWatchdog) {
+		s.watchdogTimeouts.Add(1)
+		err = fmt.Errorf("service: solve abandoned by the %s watchdog (still computing; retry): %w",
+			s.solveTimeout, err)
+	}
+	return res, err
+}
+
+// errWatchdog is the cancellation cause distinguishing the server-side
+// watchdog from a client that hung up.
+var errWatchdog = errors.New("service: solve watchdog expired")
+
+func (s *Server) evalPointInner(ctx context.Context, cfg core.Config) (*core.Result, error) {
 	// A point someone else is already solving is waited on slot-free, so
 	// duplicate cold points across concurrent batches pin one solve slot
 	// total, not one per waiter. (A duplicate that slips past this check
@@ -343,11 +483,70 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{Engine: s.backend.Stats(), Service: s.Stats()})
+	resp := StatsResponse{Engine: s.backend.Stats(), Service: s.Stats()}
+	if s.ckptStatus != nil {
+		st := s.ckptStatus()
+		ck := &CheckpointStats{
+			LastSaveAgeSec:      -1,
+			LastSaveError:       st.LastError,
+			ConsecutiveFailures: st.ConsecutiveFailures,
+			SavesOK:             st.SavesOK,
+			SavesFailed:         st.SavesFailed,
+		}
+		if !st.LastSuccess.IsZero() {
+			ck.LastSaveAgeSec = time.Since(st.LastSuccess).Seconds()
+		}
+		resp.Checkpoint = ck
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// degradedWindow is how long after the last resilience incident (solver
+// fallback, recovered panic, watchdog timeout) /healthz keeps reporting
+// "degraded".
+const degradedWindow = 60 * time.Second
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	est := s.backend.Stats()
+	resp := HealthResponse{
+		Status:           "ok",
+		SolverFallbacks:  est.SolverFallbacks,
+		PanicsRecovered:  est.PanicsRecovered + s.panicsRecovered.Load(),
+		WatchdogTimeouts: s.watchdogTimeouts.Load(),
+	}
+
+	// Lazy incident detection: counters that moved since the previous
+	// probe (or since construction, for the first probe) stamp an
+	// incident; degraded = an incident inside the window.
+	cur := [4]uint64{est.SolverFallbacks, est.PanicsRecovered, s.panicsRecovered.Load(), s.watchdogTimeouts.Load()}
+	now := time.Now()
+	s.healthMu.Lock()
+	if cur != s.lastCounters {
+		s.lastCounters = cur
+		s.lastIncident = now
+	}
+	degraded := !s.lastIncident.IsZero() && now.Sub(s.lastIncident) < degradedWindow
+	s.healthMu.Unlock()
+
+	if s.ckptStatus != nil {
+		st := s.ckptStatus()
+		resp.CheckpointError = st.LastError
+		if !st.LastSuccess.IsZero() {
+			resp.CheckpointAgeSec = time.Since(st.LastSuccess).Seconds()
+		}
+		if st.ConsecutiveFailures > 0 {
+			degraded = true
+		}
+	}
+	if degraded {
+		resp.Status = "degraded"
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // evalError maps an evaluation failure onto a status: cancellation (the
@@ -360,8 +559,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // so it cannot masquerade as client error here.
 func evalError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusUnprocessableEntity
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, engine.ErrEvalPanic) || errors.Is(err, engine.ErrNonFinite):
+		// Server-side internal failure, not a property of the submitted
+		// configuration: 500 so retrying clients try again instead of
+		// treating it as permanent.
+		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
