@@ -33,6 +33,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 
 	"repro/internal/core"
@@ -60,7 +61,28 @@ type SweepPoint = core.SweepPoint
 
 // SweepOpts selects how grid sweeps evaluate their points (warm-start
 // chaining of neighbouring solves vs cold batch fan-out).
+//
+// Deprecated: pass functional options (WithWarmStart, WithIncremental,
+// WithContext) to SweepTIDS/ExploreDesignSpace/TradeoffFrontier instead.
 type SweepOpts = core.SweepOpts
+
+// SweepOption configures how a grid driver (SweepTIDS, ExploreDesignSpace,
+// TradeoffFrontier) evaluates its points; the zero set is the engine's
+// bounded parallel batch.
+type SweepOption = core.SweepOption
+
+// WithWarmStart chains neighbouring grid points through one solver session,
+// seeding each transient solve from the previous point's sojourn vector.
+func WithWarmStart() SweepOption { return core.WithWarmStart() }
+
+// WithIncremental routes neighbouring grid points through the incremental
+// patch+re-solve path (rate-only generator patches on a shared
+// factorization); implies WithWarmStart's sequential chaining.
+func WithIncremental() SweepOption { return core.WithIncremental() }
+
+// WithContext makes the driver honor ctx: evaluation stops with ctx.Err()
+// at the next point boundary after cancellation.
+func WithContext(ctx context.Context) SweepOption { return core.WithContext(ctx) }
 
 // Optimum is the best point of a sweep plus the full curve.
 type Optimum = core.Optimum
@@ -217,12 +239,33 @@ type ClientStats = service.ClientStats
 // (ok/degraded/draining) plus the resilience counters behind it.
 type HealthResponse = service.HealthResponse
 
-// NewClient builds a client for the evaluation server at baseURL (e.g.
-// "http://127.0.0.1:8080").
-func NewClient(baseURL string) *Client { return service.NewClient(baseURL, nil) }
+// ClientOption configures a Client built by NewClient.
+type ClientOption = service.ClientOption
 
-// NewClientHTTP is NewClient with an explicit http.Client (custom
-// transports, proxies, or TLS configuration).
+// WithHTTPClient selects an explicit http.Client (custom transports,
+// proxies, or TLS configuration); the default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption { return service.WithHTTPClient(hc) }
+
+// WithRetryPolicy opts the client into resilience: transparent retries
+// with jittered exponential backoff on transient failures (429, 5xx,
+// transport errors) and a circuit breaker per the policy. Without it the
+// client is fail-fast: one attempt, no breaker, a 429 surfaces immediately
+// as ErrServerOverloaded.
+func WithRetryPolicy(p RetryPolicy) ClientOption { return service.WithRetryPolicy(p) }
+
+// NewClient builds a client for the evaluation server at baseURL (e.g.
+// "http://127.0.0.1:8080"), configured by functional options:
+//
+//	repro.NewClient(url)                                  // fail-fast defaults
+//	repro.NewClient(url, repro.WithHTTPClient(hc))        // custom transport
+//	repro.NewClient(url, repro.WithRetryPolicy(policy))   // retries + breaker
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return service.NewClientOpts(baseURL, opts...)
+}
+
+// NewClientHTTP is NewClient with an explicit http.Client.
+//
+// Deprecated: use NewClient with WithHTTPClient.
 func NewClientHTTP(baseURL string, hc *http.Client) *Client {
 	return service.NewClient(baseURL, hc)
 }
@@ -231,9 +274,19 @@ func NewClientHTTP(baseURL string, hc *http.Client) *Client {
 // client absorbs transient server failures (429/5xx/transport resets)
 // transparently and fails fast with ErrCircuitOpen while the server is
 // persistently down. Pass a nil http.Client for the default transport.
+//
+// Deprecated: use NewClient with WithHTTPClient and WithRetryPolicy.
 func NewResilientClient(baseURL string, hc *http.Client, policy RetryPolicy) *Client {
 	return service.NewResilientClient(baseURL, hc, policy)
 }
+
+// FrontierRequest parameterizes a remote adaptive-frontier stream
+// (Client.Frontier / POST /v1/frontier).
+type FrontierRequest = service.FrontierRequest
+
+// BatchStreamLine is one line of a streamed batch response
+// (Client.EvalBatchStream).
+type BatchStreamLine = service.BatchStreamLine
 
 // PaperTIDSGrid is the detection-interval grid used in the paper's figures.
 var PaperTIDSGrid = core.PaperTIDSGrid
@@ -242,14 +295,17 @@ var PaperTIDSGrid = core.PaperTIDSGrid
 var PaperMGrid = core.PaperMGrid
 
 // SweepTIDS evaluates the model across a grid of detection intervals.
-func SweepTIDS(cfg Config, grid []float64) ([]SweepPoint, error) {
-	return core.SweepTIDS(cfg, grid)
+// Options select the evaluation strategy: the default is the engine's
+// bounded parallel batch; WithWarmStart/WithIncremental chain the grid
+// through one solver session, and WithContext makes the sweep cancelable
+// between points.
+func SweepTIDS(cfg Config, grid []float64, opts ...SweepOption) ([]SweepPoint, error) {
+	return core.SweepTIDS(cfg, grid, opts...)
 }
 
-// SweepTIDSOpts is SweepTIDS with explicit sweep options; with WarmStart
-// set, each grid point's transient solve starts from the previous point's
-// sojourn vector (the TIDS grid shares one state space), cutting solver
-// iterations substantially at identical 1e-12 accuracy.
+// SweepTIDSOpts is SweepTIDS with the legacy options struct.
+//
+// Deprecated: use SweepTIDS with WithWarmStart/WithIncremental/WithContext.
 func SweepTIDSOpts(cfg Config, grid []float64, opts SweepOpts) ([]SweepPoint, error) {
 	return core.SweepTIDSOpts(cfg, grid, opts)
 }
@@ -301,22 +357,67 @@ func DefaultDesignSpace() DesignSpace { return core.DefaultDesignSpace() }
 // TradeoffFrontier explores the design space and returns the Pareto
 // frontier of MTTSF-vs-Ĉtotal — the paper's "optimal design settings under
 // which the MTTSF metric can be best traded off for the communication cost
-// metric or vice versa".
-func TradeoffFrontier(cfg Config, space DesignSpace) ([]DesignPoint, error) {
-	return core.TradeoffFrontier(cfg, space)
+// metric or vice versa". It evaluates the full grid; Frontier reaches the
+// same frontier adaptively with a fraction of the evaluations.
+func TradeoffFrontier(cfg Config, space DesignSpace, opts ...SweepOption) ([]DesignPoint, error) {
+	return core.TradeoffFrontier(cfg, space, opts...)
 }
 
 // ExploreDesignSpace evaluates every point of the design space (sorted by
-// ascending Ĉtotal), without the frontier filter.
-func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
-	return core.ExploreDesignSpace(cfg, space)
+// ascending Ĉtotal), without the frontier filter. It accepts the same
+// options as SweepTIDS; WithWarmStart/WithIncremental run one solve chain
+// per (m, detection) pair along the TIDS axis.
+func ExploreDesignSpace(cfg Config, space DesignSpace, opts ...SweepOption) ([]DesignPoint, error) {
+	return core.ExploreDesignSpace(cfg, space, opts...)
 }
 
-// ExploreDesignSpaceOpts is ExploreDesignSpace with sweep options: with
-// WarmStart set it runs one warm-start solve chain per (m, detection) pair
-// along the TIDS axis.
+// ExploreDesignSpaceOpts is ExploreDesignSpace with the legacy options
+// struct.
+//
+// Deprecated: use ExploreDesignSpace with WithWarmStart/WithIncremental/
+// WithContext.
 func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]DesignPoint, error) {
 	return core.ExploreDesignSpaceOpts(cfg, space, opts)
+}
+
+// ParetoFrontier filters points down to the non-dominated set (maximize
+// MTTSF, minimize Ĉtotal), sorted by ascending Ĉtotal.
+func ParetoFrontier(points []DesignPoint) []DesignPoint {
+	return core.ParetoFrontier(points)
+}
+
+// --- Incremental frontier maintenance and adaptive exploration ---
+
+// FrontierMaintainer maintains a Pareto frontier incrementally: one
+// DesignPoint at a time, O(log n) per insert, with dominated-hypervolume
+// accounting and per-insert improvement deltas.
+type FrontierMaintainer = core.FrontierMaintainer
+
+// FrontierDelta describes what one FrontierMaintainer insert changed.
+type FrontierDelta = core.FrontierDelta
+
+// NewFrontierMaintainer returns an empty frontier maintainer.
+func NewFrontierMaintainer() *FrontierMaintainer { return core.NewFrontierMaintainer() }
+
+// FrontierOptions configures an adaptive frontier exploration (design
+// space, evaluation budget, improvement stopping threshold).
+type FrontierOptions = engine.FrontierOptions
+
+// FrontierRevision is one step of an adaptive frontier exploration: the
+// accepted point, what it evicted, and the hypervolume after it — the unit
+// both the emit callback and the /v1/frontier NDJSON stream deliver.
+type FrontierRevision = engine.FrontierRevision
+
+// Frontier computes the MTTSF-vs-Ĉtotal Pareto frontier adaptively over
+// the default engine: cached results seed the frontier, certified bounds on
+// the model's monotone structure rank the remaining candidates by optimistic
+// hypervolume gain, and evaluation stops when no candidate can improve the
+// frontier (or the budget runs out). The terminal frontier equals
+// TradeoffFrontier's over the same space at a fraction of the evaluations;
+// emit (optional) observes every revision as it lands. Returns the
+// frontier and the number of fresh evaluations spent.
+func Frontier(ctx context.Context, cfg Config, opts FrontierOptions, emit func(FrontierRevision) error) ([]DesignPoint, int, error) {
+	return engine.Default().AdaptiveFrontier(ctx, cfg, opts, emit)
 }
 
 // --- Mission survivability (time-to-failure distribution) ---
@@ -473,7 +574,34 @@ func CalibrateMobility(opts CalibrateOpts) (*GroupDynamics, error) {
 	return manet.Calibrate(opts)
 }
 
-// ApplyDynamics patches the calibrated group dynamics into a configuration.
+// ApplyDynamicsChecked patches the calibrated group dynamics into a
+// configuration, failing loudly on values the model cannot take: a
+// calibration run that produced MeanHops < 1 or MeanDegree <= 0 (too few
+// samples, a degenerate field geometry) returns an error instead of
+// half-applying the rates and silently keeping the old topology statistics.
+func ApplyDynamicsChecked(cfg Config, gd *GroupDynamics) (Config, error) {
+	if gd == nil {
+		return cfg, fmt.Errorf("repro: ApplyDynamicsChecked: nil GroupDynamics")
+	}
+	if gd.MeanHops < 1 {
+		return cfg, fmt.Errorf("repro: calibrated MeanHops = %v is below 1 (every route has at least one hop); re-run the calibration with more samples", gd.MeanHops)
+	}
+	if gd.MeanDegree <= 0 {
+		return cfg, fmt.Errorf("repro: calibrated MeanDegree = %v is not positive; re-run the calibration with more samples", gd.MeanDegree)
+	}
+	cfg.PartitionRate = gd.PartitionRate
+	cfg.MergeRate = gd.MergeRate
+	cfg.MeanHops = gd.MeanHops
+	cfg.MeanDegree = gd.MeanDegree
+	return cfg, nil
+}
+
+// ApplyDynamics patches the calibrated group dynamics into a configuration,
+// keeping the configuration's MeanHops/MeanDegree when the calibrated
+// values are out of the model's range.
+//
+// Deprecated: use ApplyDynamicsChecked, which reports out-of-range
+// calibration instead of silently half-applying it.
 func ApplyDynamics(cfg Config, gd *GroupDynamics) Config {
 	cfg.PartitionRate = gd.PartitionRate
 	cfg.MergeRate = gd.MergeRate

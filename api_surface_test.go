@@ -1,0 +1,138 @@
+package repro
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestPublicAPISurface pins the package's exported surface: every
+// exported top-level declaration, rendered from the parsed source, must
+// match testdata/api_surface.golden line for line. A failing diff is the
+// tier-1 tripwire for accidental API breaks — removing or re-typing a
+// public symbol shows up here before any caller notices. Intentional
+// surface changes regenerate the golden with:
+//
+//	REGEN_API_SURFACE=1 go test -run TestPublicAPISurface .
+func TestPublicAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if os.Getenv("REGEN_API_SURFACE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API golden (regenerate with REGEN_API_SURFACE=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface diverged from %s.\n"+
+			"If the change is intentional, regenerate with REGEN_API_SURFACE=1 go test -run TestPublicAPISurface .\n"+
+			"got:\n%s", golden, got)
+	}
+}
+
+// renderAPISurface parses the non-test files of this package and prints
+// one line (or block) per exported top-level declaration, sorted, with
+// doc comments and function bodies stripped — a canonical form stable
+// across gofmt runs and comment edits.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		name := fi.Name()
+		return filepath.Ext(name) == ".go" && !isTestFile(name)
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["repro"]
+	if !ok {
+		t.Fatalf("package repro not found in %v", pkgs)
+	}
+	var decls []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			for _, rendered := range renderDecl(t, fset, decl) {
+				decls = append(decls, rendered)
+			}
+		}
+	}
+	sort.Strings(decls)
+	var buf bytes.Buffer
+	for _, d := range decls {
+		buf.WriteString(d)
+		buf.WriteString("\n")
+	}
+	return buf.String()
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+func renderDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) []string {
+	t.Helper()
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv != nil || !d.Name.IsExported() {
+			return nil
+		}
+		stripped := *d
+		stripped.Doc = nil
+		stripped.Body = nil
+		out = append(out, printNode(t, fset, &stripped))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				stripped := *s
+				stripped.Doc = nil
+				stripped.Comment = nil
+				one := &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&stripped}}
+				out = append(out, printNode(t, fset, one))
+			case *ast.ValueSpec:
+				exported := false
+				for _, name := range s.Names {
+					if name.IsExported() {
+						exported = true
+					}
+				}
+				if !exported {
+					continue
+				}
+				stripped := *s
+				stripped.Doc = nil
+				stripped.Comment = nil
+				one := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&stripped}}
+				out = append(out, printNode(t, fset, one))
+			}
+		}
+	}
+	return out
+}
+
+func printNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,8 +1,11 @@
 package repro
 
 import (
+	"context"
 	"math"
+	"net/http"
 	"testing"
+	"time"
 )
 
 // apiConfig is a fast configuration for API-level tests.
@@ -230,5 +233,126 @@ func TestBestDetectionAPIMatchesFigure4(t *testing.T) {
 	}
 	if kind != Logarithmic && kind != Linear && kind != Polynomial {
 		t.Errorf("kind = %v", kind)
+	}
+}
+
+func TestPublicSweepOptions(t *testing.T) {
+	grid := []float64{30, 120, 480}
+	plain, err := SweepTIDS(apiConfig(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SweepTIDS(apiConfig(), grid, WithWarmStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := SweepTIDS(apiConfig(), grid, WithIncremental(), WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		for _, got := range [][]SweepPoint{warm, inc} {
+			if rel := math.Abs(got[i].Result.MTTSF-plain[i].Result.MTTSF) / plain[i].Result.MTTSF; rel > 1e-9 {
+				t.Errorf("point %d: optioned sweep diverges by %v", i, rel)
+			}
+		}
+	}
+	// The deprecated struct form still works and agrees.
+	legacy, err := SweepTIDSOpts(apiConfig(), grid, SweepOpts{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(plain) {
+		t.Fatalf("legacy sweep returned %d points", len(legacy))
+	}
+	// A canceled context stops the sweep at the next point boundary.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepTIDS(apiConfig(), grid, WithContext(ctx)); err == nil {
+		t.Error("canceled sweep returned nil error")
+	}
+}
+
+func TestPublicFrontier(t *testing.T) {
+	cfg := apiConfig()
+	space := DefaultDesignSpace()
+	var revisions int
+	frontier, evals, err := Frontier(context.Background(), cfg, FrontierOptions{Space: space},
+		func(rev FrontierRevision) error {
+			revisions++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 || revisions == 0 {
+		t.Fatalf("frontier=%d points, %d revisions", len(frontier), revisions)
+	}
+	if evals > space.Size() {
+		t.Errorf("adaptive exploration spent %d evals on a %d-point space", evals, space.Size())
+	}
+	want, err := TradeoffFrontier(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != len(want) {
+		t.Fatalf("adaptive frontier has %d points, TradeoffFrontier %d", len(frontier), len(want))
+	}
+	for i := range want {
+		if frontier[i] != want[i] {
+			t.Errorf("frontier point %d: got %+v, want %+v", i, frontier[i], want[i])
+		}
+	}
+	// The incremental maintainer reproduces the same frontier point-wise.
+	fm := NewFrontierMaintainer()
+	all, err := ExploreDesignSpace(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range all {
+		fm.Insert(p)
+	}
+	if got := fm.Frontier(); len(got) != len(want) {
+		t.Errorf("maintainer frontier has %d points, want %d", len(got), len(want))
+	}
+}
+
+func TestPublicApplyDynamicsChecked(t *testing.T) {
+	gd := &GroupDynamics{PartitionRate: 1e-4, MergeRate: 2e-4, MeanHops: 2.5, MeanDegree: 4}
+	cfg, err := ApplyDynamicsChecked(apiConfig(), gd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PartitionRate != gd.PartitionRate || cfg.MergeRate != gd.MergeRate ||
+		cfg.MeanHops != gd.MeanHops || cfg.MeanDegree != gd.MeanDegree {
+		t.Errorf("checked apply did not patch all fields: %+v", cfg)
+	}
+	bad := *gd
+	bad.MeanHops = 0.4
+	if _, err := ApplyDynamicsChecked(apiConfig(), &bad); err == nil {
+		t.Error("MeanHops < 1 accepted silently")
+	}
+	bad = *gd
+	bad.MeanDegree = 0
+	if _, err := ApplyDynamicsChecked(apiConfig(), &bad); err == nil {
+		t.Error("MeanDegree <= 0 accepted silently")
+	}
+	if _, err := ApplyDynamicsChecked(apiConfig(), nil); err == nil {
+		t.Error("nil dynamics accepted silently")
+	}
+}
+
+func TestPublicClientOptions(t *testing.T) {
+	// Compile-and-construct coverage for the consolidated constructor; the
+	// behavioral contracts live in internal/service's tests.
+	hc := &http.Client{Timeout: time.Second}
+	if c := NewClient("http://127.0.0.1:1", WithHTTPClient(hc), WithRetryPolicy(RetryPolicy{MaxAttempts: 2})); c == nil {
+		t.Fatal("NewClient returned nil")
+	}
+	if c := NewClientHTTP("http://127.0.0.1:1", hc); c == nil {
+		t.Fatal("NewClientHTTP returned nil")
+	}
+	if c := NewResilientClient("http://127.0.0.1:1", nil, RetryPolicy{}); c == nil {
+		t.Fatal("NewResilientClient returned nil")
 	}
 }

@@ -89,6 +89,13 @@ type Result struct {
 	// only): how much of the injected fault schedule the resilient client
 	// had to absorb to finish the sweep.
 	Retries uint64 `json:"retries,omitempty"`
+	// EvalsPerOp and GridPoints report the adaptive-frontier economy
+	// (frontier_adaptive only): fresh model evaluations the
+	// active-learning loop charged to converge versus the size of the
+	// full grid it replaced. The harness verifies the converged frontier
+	// is identical to the full-grid one before timing anything.
+	EvalsPerOp int `json:"evals_per_op,omitempty"`
+	GridPoints int `json:"grid_points,omitempty"`
 }
 
 // FingerprintCheck records a parallel-vs-sequential exploration identity
@@ -178,6 +185,7 @@ func main() {
 	f.Workloads = append(f.Workloads, incrementalWorkloads(sweepN)...)
 	f.Workloads = append(f.Workloads, sensitivityWorkload(sweepN))
 	f.Workloads = append(f.Workloads, frontierWorkload(30))
+	f.Workloads = append(f.Workloads, frontierAdaptiveWorkload(12))
 	f.Workloads = append(f.Workloads, backendMatrixWorkloads(sweepN)...)
 	f.Workloads = append(f.Workloads, largeNWorkloads(largeNSide(*preset))...)
 	f.Workloads = append(f.Workloads, serveBatchWorkload(30))
@@ -631,6 +639,62 @@ func frontierWorkload(n int) Result {
 		}
 		core.SetDefaultEvaluator(prev)
 	})
+}
+
+// frontierAdaptiveWorkload measures the active-learning frontier driver
+// cold: each op builds a fresh engine (empty cache) and runs
+// AdaptiveFrontier over a 16-column TIDS grid at size n, so the number is
+// the full cost of reaching the exact Pareto frontier without grid
+// enumeration. Before timing, the harness proves the claim the workload
+// exists to record: the adaptive frontier must be identical to the
+// full-grid frontier, and the loop must have spent at most 40% of the
+// grid's evaluations — a silent economy regression fails the bench run
+// outright instead of drifting into the baseline.
+func frontierAdaptiveWorkload(n int) Result {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	space := core.DefaultDesignSpace()
+	space.TIDSGrid = []float64{5, 10, 15, 20, 30, 45, 60, 90, 120, 180, 240, 360, 480, 600, 900, 1200}
+
+	e := engine.New(engine.Options{})
+	adaptive, evals, err := e.AdaptiveFrontier(context.Background(), cfg, engine.FrontierOptions{Space: space}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	cfgs := space.Enumerate(cfg)
+	results, err := e.EvalBatch(cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	points := make([]core.DesignPoint, len(results))
+	for i, res := range results {
+		points[i] = core.DesignPoint{
+			M: cfgs[i].M, TIDS: cfgs[i].TIDS, Detection: cfgs[i].Detection,
+			MTTSF: res.MTTSF, Ctotal: res.Ctotal,
+		}
+	}
+	want := core.ParetoFrontier(points)
+	if len(adaptive) != len(want) {
+		fatal(fmt.Errorf("frontier_adaptive: adaptive frontier has %d points, full grid %d", len(adaptive), len(want)))
+	}
+	for i := range want {
+		if adaptive[i] != want[i] {
+			fatal(fmt.Errorf("frontier_adaptive: frontier point %d diverged: got %+v, want %+v", i, adaptive[i], want[i]))
+		}
+	}
+	if total := space.Size(); evals*5 > total*2 {
+		fatal(fmt.Errorf("frontier_adaptive: %d evals on a %d-point grid exceeds the 40%% economy bound", evals, total))
+	}
+
+	r := measure("frontier_adaptive", n, func() {
+		fresh := engine.New(engine.Options{})
+		if _, _, err := fresh.AdaptiveFrontier(context.Background(), cfg, engine.FrontierOptions{Space: space}, nil); err != nil {
+			fatal(err)
+		}
+	})
+	r.EvalsPerOp = evals
+	r.GridPoints = space.Size()
+	return r
 }
 
 // serveBatchWorkload measures the evaluation service's HTTP serving path:

@@ -1,0 +1,76 @@
+// Command frontier streams the adaptive Pareto frontier of the MTTSF vs
+// Ĉtotal design space: instead of enumerating the (m, TIDS, detection)
+// grid, the active-learning loop evaluates only the points whose
+// optimistic outcome could still improve the frontier, and prints one
+// line per frontier revision as it lands. By default the loop runs
+// in-process; with -server it streams NDJSON from a running evalserver's
+// POST /v1/frontier instead, sharing that server's warm result cache.
+//
+// Usage:
+//
+//	frontier [-n 100] [-budget 0] [-min-improvement 0] [-server URL] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	n := flag.Int("n", 100, "initial group size N")
+	budget := flag.Int("budget", 0, "max fresh evaluations (0 = grid size)")
+	minImp := flag.Float64("min-improvement", 0, "stop once the best optimistic gain falls below this fraction of the dominated hypervolume")
+	server := flag.String("server", "", "evalserver base URL (empty = run the loop in-process)")
+	quiet := flag.Bool("quiet", false, "suppress per-revision lines, print only the final frontier")
+	statsFlag := flag.Bool("enginestats", false, "print evaluation-engine cache statistics on exit")
+	flag.Parse()
+	if *statsFlag {
+		cli.EnableEngineStats()
+	}
+
+	cfg := repro.DefaultConfig()
+	cfg.N = *n
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	emit := func(rev repro.FrontierRevision) error {
+		if *quiet || rev.Point == nil {
+			return nil
+		}
+		fmt.Printf("gen %3d [%3d/%d evals]: + m=%d TIDS=%5.0f %-11v MTTSF=%.5g Ctotal=%.5g (evicts %d, hv %.4g)\n",
+			rev.Generation, rev.Evals, rev.Candidates, rev.Point.M, rev.Point.TIDS,
+			rev.Point.Detection, rev.Point.MTTSF, rev.Point.Ctotal, len(rev.Evicted), rev.Hypervolume)
+		return nil
+	}
+
+	var (
+		frontier []repro.DesignPoint
+		evals    int
+		err      error
+	)
+	opts := repro.FrontierOptions{EvalBudget: *budget, MinImprovement: *minImp}
+	if *server != "" {
+		req := repro.FrontierRequest{Config: cfg, EvalBudget: *budget, MinImprovement: *minImp}
+		frontier, evals, err = repro.NewClient(*server).Frontier(ctx, req, emit)
+	} else {
+		frontier, evals, err = repro.Frontier(ctx, cfg, opts, emit)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frontier: %v\n", err)
+		os.Exit(1)
+	}
+
+	space := repro.DefaultDesignSpace()
+	fmt.Printf("\nPareto frontier (%d points, %d/%d evaluations):\n", len(frontier), evals, space.Size())
+	fmt.Printf("%4s %6s %-12s %14s %14s\n", "m", "TIDS", "detection", "MTTSF (s)", "Ctotal")
+	for _, p := range frontier {
+		fmt.Printf("%4d %6.0f %-12v %14.6g %14.6g\n", p.M, p.TIDS, p.Detection, p.MTTSF, p.Ctotal)
+	}
+}

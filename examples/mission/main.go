@@ -39,7 +39,10 @@ func main() {
 
 	cfg := repro.DefaultConfig()
 	cfg.N = 40
-	cfg = repro.ApplyDynamics(cfg, gd)
+	cfg, err = repro.ApplyDynamicsChecked(cfg, gd)
+	if err != nil {
+		log.Fatalf("mission: bad calibration: %v", err)
+	}
 
 	// --- Step 2: budgeted optimization. -------------------------------
 	opt, err := repro.ConstrainedOptimum(cfg, repro.PaperTIDSGrid, budgetHopBits)

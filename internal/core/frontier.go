@@ -1,0 +1,171 @@
+package core
+
+import "sort"
+
+// FrontierMaintainer maintains the Pareto frontier over design points
+// incrementally: points arrive one at a time and the non-dominated set is
+// kept as a staircase strictly ascending in both Ĉtotal and MTTSF (on the
+// frontier, paying more traffic must buy more survival). Each insert costs
+// one binary search on the Ĉtotal-sorted invariant plus the (amortized
+// O(1)) evictions it triggers, so an adaptive driver can fold thousands of
+// evaluations into a live frontier without re-filtering the whole set.
+//
+// The maintainer also tracks the dominated hypervolume — the area of the
+// cost×survival rectangle {(c, m) : c ≤ refC, 0 ≤ m ≤ M(c)} dominated by
+// the frontier, measured against a reference at (refC, MTTSF=0) where refC
+// is the largest Ĉtotal ever offered to Insert. Hypervolume deltas are the
+// currency of the active-learning loop: "expected frontier improvement" of
+// a candidate is exactly the hypervolume its optimistic outcome would add.
+type FrontierMaintainer struct {
+	// pts is strictly ascending in both Ctotal and MTTSF.
+	pts  []DesignPoint
+	gen  int
+	refC float64
+	hv   float64
+}
+
+// NewFrontierMaintainer returns an empty maintainer. The hypervolume
+// reference cost auto-tracks the maximum Ĉtotal offered to Insert, so the
+// dominated area can grow both by better points and by a wider reference
+// box; FrontierDelta.Improvement reports the combined effect per insert.
+func NewFrontierMaintainer() *FrontierMaintainer {
+	return &FrontierMaintainer{}
+}
+
+// FrontierDelta describes the effect of one Insert: whether the point
+// joined the frontier, which points it evicted, and how the dominated
+// hypervolume moved. Generation increments only on accepted inserts, so it
+// doubles as a revision number for streamed frontier updates.
+type FrontierDelta struct {
+	Generation  int
+	Point       DesignPoint
+	Accepted    bool
+	Evicted     []DesignPoint
+	Hypervolume float64
+	Improvement float64
+}
+
+// Len returns the current frontier size.
+func (f *FrontierMaintainer) Len() int { return len(f.pts) }
+
+// Generation returns the number of accepted inserts so far.
+func (f *FrontierMaintainer) Generation() int { return f.gen }
+
+// Hypervolume returns the dominated area w.r.t. the current reference.
+func (f *FrontierMaintainer) Hypervolume() float64 { return f.hv }
+
+// Frontier returns a copy of the current non-dominated set, sorted by
+// ascending Ĉtotal (and therefore ascending MTTSF).
+func (f *FrontierMaintainer) Frontier() []DesignPoint {
+	if len(f.pts) == 0 {
+		return nil
+	}
+	return append([]DesignPoint(nil), f.pts...)
+}
+
+// search returns the first index whose Ctotal is >= c.
+func (f *FrontierMaintainer) search(c float64) int {
+	return sort.Search(len(f.pts), func(i int) bool { return f.pts[i].Ctotal >= c })
+}
+
+// dominated reports whether a point at (c, m) is weakly dominated by the
+// current frontier, given lo = search(c). On the staircase the strongest
+// competitor is the most expensive point not costlier than (c, m).
+func (f *FrontierMaintainer) dominated(lo int, c, m float64) bool {
+	if lo > 0 && f.pts[lo-1].MTTSF >= m {
+		return true
+	}
+	return lo < len(f.pts) && f.pts[lo].Ctotal == c && f.pts[lo].MTTSF >= m
+}
+
+// widen grows the reference cost to c and returns the hypervolume gained
+// by the wider box (every existing slab widens by c - refC).
+func (f *FrontierMaintainer) widen(c float64) float64 {
+	if c <= f.refC {
+		return 0
+	}
+	var gained float64
+	if n := len(f.pts); n > 0 {
+		gained = (c - f.refC) * f.pts[n-1].MTTSF
+	}
+	f.refC = c
+	f.hv += gained
+	return gained
+}
+
+// localDelta computes the hypervolume change of replacing the staircase
+// span [lo, hi) with a single point (c, m), under reference cost ref.
+func (f *FrontierMaintainer) localDelta(lo, hi int, c, m, ref float64) float64 {
+	predM := 0.0
+	if lo > 0 {
+		predM = f.pts[lo-1].MTTSF
+	}
+	old, prevM := 0.0, predM
+	for _, q := range f.pts[lo:hi] {
+		old += (ref - q.Ctotal) * (q.MTTSF - prevM)
+		prevM = q.MTTSF
+	}
+	fresh := (ref - c) * (m - predM)
+	if hi < len(f.pts) {
+		s := f.pts[hi]
+		old += (ref - s.Ctotal) * (s.MTTSF - prevM)
+		fresh += (ref - s.Ctotal) * (s.MTTSF - m)
+	}
+	return fresh - old
+}
+
+// Insert offers one evaluated design point to the frontier and returns
+// the resulting delta. Dominated points are rejected (Accepted=false, no
+// generation bump — though they may still widen the reference box, which
+// shows up as a positive Improvement); accepted points evict every member
+// they weakly dominate.
+func (f *FrontierMaintainer) Insert(p DesignPoint) FrontierDelta {
+	before := f.hv
+	f.widen(p.Ctotal)
+	lo := f.search(p.Ctotal)
+	if f.dominated(lo, p.Ctotal, p.MTTSF) {
+		return FrontierDelta{
+			Generation: f.gen, Point: p,
+			Hypervolume: f.hv, Improvement: f.hv - before,
+		}
+	}
+	hi := lo
+	for hi < len(f.pts) && f.pts[hi].MTTSF <= p.MTTSF {
+		hi++
+	}
+	var evicted []DesignPoint
+	if hi > lo {
+		evicted = append([]DesignPoint(nil), f.pts[lo:hi]...)
+	}
+	f.hv += f.localDelta(lo, hi, p.Ctotal, p.MTTSF, f.refC)
+	f.pts = append(f.pts[:lo], append([]DesignPoint{p}, f.pts[hi:]...)...)
+	f.gen++
+	return FrontierDelta{
+		Generation: f.gen, Point: p, Accepted: true, Evicted: evicted,
+		Hypervolume: f.hv, Improvement: f.hv - before,
+	}
+}
+
+// ImprovementIf returns the hypervolume Insert would gain for a
+// hypothetical point at (c, m) without mutating the frontier: zero iff the
+// point is weakly dominated and would not widen the reference box. The
+// adaptive driver ranks unevaluated candidates by this value computed at
+// their optimistic surrogate outcome.
+func (f *FrontierMaintainer) ImprovementIf(c, m float64) float64 {
+	ref, widened := f.refC, 0.0
+	if c > ref {
+		if n := len(f.pts); n > 0 {
+			widened = (c - ref) * f.pts[n-1].MTTSF
+		}
+		ref = c
+	}
+	lo := f.search(c)
+	if f.dominated(lo, c, m) {
+		return widened
+	}
+	hi := lo
+	for hi < len(f.pts) && f.pts[hi].MTTSF <= m {
+		hi++
+	}
+	return widened + f.localDelta(lo, hi, c, m, ref)
+}

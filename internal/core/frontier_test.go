@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// brute-force hypervolume of a staircase frontier w.r.t. (refC, 0).
+func bruteHV(frontier []DesignPoint, refC float64) float64 {
+	hv, prevM := 0.0, 0.0
+	for _, p := range frontier {
+		hv += (refC - p.Ctotal) * (p.MTTSF - prevM)
+		prevM = p.MTTSF
+	}
+	return hv
+}
+
+func TestFrontierMaintainerMatchesBatch(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var points []DesignPoint
+		for i := 0; i+1 < len(raw); i += 2 {
+			points = append(points, DesignPoint{
+				MTTSF:  float64(raw[i]%200) + 1,
+				Ctotal: float64(raw[i+1]%200) + 1,
+			})
+		}
+		want := ParetoFrontier(points)
+		// The maintainer must converge to the same frontier regardless of
+		// insertion order (metric-duplicate points are interchangeable).
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := append([]DesignPoint(nil), points...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		fm := NewFrontierMaintainer()
+		for _, p := range shuffled {
+			fm.Insert(p)
+		}
+		got := fm.Frontier()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Ctotal != want[i].Ctotal || got[i].MTTSF != want[i].MTTSF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontierMaintainerDeltas(t *testing.T) {
+	fm := NewFrontierMaintainer()
+	// First point: widens the reference to its own cost, so its slab has
+	// zero width — hypervolume stays 0 until a cheaper or reference-
+	// widening point arrives.
+	d := fm.Insert(DesignPoint{Ctotal: 10, MTTSF: 5})
+	if !d.Accepted || d.Generation != 1 || len(d.Evicted) != 0 {
+		t.Fatalf("first insert delta: %+v", d)
+	}
+	// Cheaper, weaker point joins below.
+	d = fm.Insert(DesignPoint{Ctotal: 4, MTTSF: 2})
+	if !d.Accepted || d.Generation != 2 {
+		t.Fatalf("second insert delta: %+v", d)
+	}
+	if want := (10.0 - 4.0) * 2.0; math.Abs(d.Improvement-want) > 1e-12 {
+		t.Errorf("improvement = %v, want %v", d.Improvement, want)
+	}
+	// Dominated point: rejected, no generation bump, no hypervolume move.
+	d = fm.Insert(DesignPoint{Ctotal: 5, MTTSF: 2})
+	if d.Accepted || d.Generation != 2 || d.Improvement != 0 {
+		t.Fatalf("dominated insert delta: %+v", d)
+	}
+	// A point dominating the lower member evicts it.
+	d = fm.Insert(DesignPoint{Ctotal: 3, MTTSF: 3})
+	if !d.Accepted || len(d.Evicted) != 1 || d.Evicted[0].Ctotal != 4 {
+		t.Fatalf("evicting insert delta: %+v", d)
+	}
+	if fm.Len() != 2 || fm.Generation() != 3 {
+		t.Fatalf("frontier len=%d gen=%d", fm.Len(), fm.Generation())
+	}
+	// Hypervolume must equal the brute-force staircase area throughout.
+	if got, want := fm.Hypervolume(), bruteHV(fm.Frontier(), 10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("hypervolume = %v, want %v", got, want)
+	}
+}
+
+func TestFrontierMaintainerHypervolumeIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fm := NewFrontierMaintainer()
+	refC := 0.0
+	for i := 0; i < 500; i++ {
+		p := DesignPoint{
+			Ctotal: 1 + 999*rng.Float64(),
+			MTTSF:  1 + 999*rng.Float64(),
+		}
+		refC = math.Max(refC, p.Ctotal)
+		prev := fm.Hypervolume()
+		gain := fm.ImprovementIf(p.Ctotal, p.MTTSF)
+		d := fm.Insert(p)
+		// ImprovementIf must predict the realized insert delta exactly.
+		if math.Abs(gain-d.Improvement) > 1e-9*(1+math.Abs(gain)) {
+			t.Fatalf("step %d: ImprovementIf=%v but Insert improved %v", i, gain, d.Improvement)
+		}
+		if d.Improvement < -1e-9 {
+			t.Fatalf("step %d: negative improvement %v", i, d.Improvement)
+		}
+		if got, want := fm.Hypervolume(), bruteHV(fm.Frontier(), refC); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("step %d: incremental hv=%v brute=%v", i, got, want)
+		}
+		_ = prev
+	}
+	if fm.Len() == 0 || fm.Generation() == 0 {
+		t.Fatal("maintainer saw no accepted points")
+	}
+}
+
+func TestFrontierMaintainerImprovementIfPure(t *testing.T) {
+	fm := NewFrontierMaintainer()
+	fm.Insert(DesignPoint{Ctotal: 10, MTTSF: 5})
+	fm.Insert(DesignPoint{Ctotal: 4, MTTSF: 2})
+	before := fm.Frontier()
+	hv := fm.Hypervolume()
+	if g := fm.ImprovementIf(3, 8); g <= 0 {
+		t.Errorf("dominating candidate gain = %v, want > 0", g)
+	}
+	if g := fm.ImprovementIf(6, 3); g <= 0 {
+		t.Errorf("gap-filling candidate gain = %v, want > 0", g)
+	}
+	if g := fm.ImprovementIf(5, 2); g != 0 {
+		t.Errorf("dominated candidate gain = %v, want 0", g)
+	}
+	if fm.Hypervolume() != hv || fm.Len() != len(before) {
+		t.Error("ImprovementIf mutated the maintainer")
+	}
+}

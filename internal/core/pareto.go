@@ -46,25 +46,19 @@ func DefaultDesignSpace() DesignSpace {
 	}
 }
 
-// size returns the number of grid points.
-func (d DesignSpace) size() int {
+// Size returns the number of grid points.
+func (d DesignSpace) Size() int {
 	return len(d.Ms) * len(d.TIDSGrid) * len(d.Detections)
 }
 
-// ExploreDesignSpace evaluates every grid point through the default
-// Evaluator's bounded batch API and returns all points (sorted by
-// ascending Ĉtotal). Design spaces overlap heavily with the TIDS sweeps of
-// the figures, so with the memoizing engine installed most points are
-// cache hits.
-func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
-	if space.size() == 0 {
-		return nil, fmt.Errorf("core: empty design space")
-	}
-	cfgs := make([]Config, 0, space.size())
-	for _, m := range space.Ms {
-		for _, tids := range space.TIDSGrid {
-			for _, k := range space.Detections {
-				c := cfg
+// Enumerate materializes the grid as configurations patched onto base, in
+// (m, TIDS, detection) loop order.
+func (d DesignSpace) Enumerate(base Config) []Config {
+	cfgs := make([]Config, 0, d.Size())
+	for _, m := range d.Ms {
+		for _, tids := range d.TIDSGrid {
+			for _, k := range d.Detections {
+				c := base
 				c.M = m
 				c.TIDS = tids
 				c.Detection = k
@@ -72,7 +66,29 @@ func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
 			}
 		}
 	}
-	results, err := DefaultEvaluator().EvalBatch(cfgs)
+	return cfgs
+}
+
+// ExploreDesignSpace evaluates every grid point and returns all points
+// (sorted by ascending Ĉtotal). Design spaces overlap heavily with the
+// TIDS sweeps of the figures, so with the memoizing engine installed most
+// points are cache hits. By default every grid point goes through the
+// default Evaluator's bounded batch API; WithWarmStart/WithIncremental
+// route it through per-(m, detection) solver chains instead, and
+// WithContext makes it cancelable between points.
+func ExploreDesignSpace(cfg Config, space DesignSpace, opts ...SweepOption) ([]DesignPoint, error) {
+	o := applySweepOptions(opts)
+	if o.WarmStart || o.Incremental {
+		return exploreDesignSpaceChained(cfg, space, o)
+	}
+	if space.Size() == 0 {
+		return nil, fmt.Errorf("core: empty design space")
+	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
+	cfgs := space.Enumerate(cfg)
+	results, err := evalBatchMaybeCtx(o, cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("core: design space: %w", err)
 	}
@@ -87,22 +103,28 @@ func ExploreDesignSpace(cfg Config, space DesignSpace) ([]DesignPoint, error) {
 	return points, nil
 }
 
-// ExploreDesignSpaceOpts is ExploreDesignSpace with sweep options. With
-// WarmStart set, the driver runs one warm-start chain per (m, detection)
+// ExploreDesignSpaceOpts is ExploreDesignSpace with an explicit options
+// struct, kept for callers predating the functional options.
+func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]DesignPoint, error) {
+	return ExploreDesignSpace(cfg, space, withSweepOpts(opts))
+}
+
+// exploreDesignSpaceChained runs one warm-start chain per (m, detection)
 // pair — within a chain only TIDS varies, so every point's state space has
 // identical structure and numbering and each solve starts from its grid
 // neighbour's sojourn vector. The independent chains fan out over a
 // bounded worker pool. Output is sorted by ascending Ĉtotal like
 // ExploreDesignSpace.
-func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]DesignPoint, error) {
-	if space.size() == 0 {
+func exploreDesignSpaceChained(cfg Config, space DesignSpace, o sweepConfig) ([]DesignPoint, error) {
+	if space.Size() == 0 {
 		return nil, fmt.Errorf("core: empty design space")
 	}
-	if _, ok := DefaultEvaluator().(PreparedEvaluator); !opts.WarmStart || !ok {
+	if _, ok := DefaultEvaluator().(PreparedEvaluator); !ok {
 		// Without a warm-capable evaluator each chain would fall back to
 		// a batch-parallel cold sweep of its own; one bounded cold batch
 		// over the whole grid is the equivalent without the W^2 fan-out.
-		return ExploreDesignSpace(cfg, space)
+		o.WarmStart, o.Incremental = false, false
+		return ExploreDesignSpace(cfg, space, withSweepConfig(o))
 	}
 	// Only the points within one chain need sequencing; the chains
 	// themselves are independent and fan out over a bounded pool, so the
@@ -123,9 +145,9 @@ func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]De
 		c := cfg
 		c.M = pairs[i].m
 		c.Detection = pairs[i].k
-		chains[i], errs[i] = SweepTIDSOpts(c, space.TIDSGrid, opts)
+		chains[i], errs[i] = SweepTIDS(c, space.TIDSGrid, withSweepConfig(o))
 	})
-	points := make([]DesignPoint, 0, space.size())
+	points := make([]DesignPoint, 0, space.Size())
 	for i, p := range pairs {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("core: design space (m=%d, detection=%v): %w", p.m, p.k, errs[i])
@@ -143,7 +165,10 @@ func ExploreDesignSpaceOpts(cfg Config, space DesignSpace, opts SweepOpts) ([]De
 
 // ParetoFrontier filters a design-point set down to its non-dominated
 // members, sorted by ascending Ĉtotal (and therefore ascending MTTSF: on
-// the frontier, paying more traffic must buy more survival).
+// the frontier, paying more traffic must buy more survival). It is the
+// batch form of FrontierMaintainer: the pre-sort pins which of two
+// metric-identical points survives, then every point is folded in through
+// the same incremental insert the streaming drivers use.
 func ParetoFrontier(points []DesignPoint) []DesignPoint {
 	sorted := append([]DesignPoint(nil), points...)
 	sort.Slice(sorted, func(a, b int) bool {
@@ -152,22 +177,19 @@ func ParetoFrontier(points []DesignPoint) []DesignPoint {
 		}
 		return sorted[a].MTTSF > sorted[b].MTTSF
 	})
-	var frontier []DesignPoint
-	bestMTTSF := 0.0
+	fm := NewFrontierMaintainer()
 	for _, p := range sorted {
-		if p.MTTSF > bestMTTSF {
-			frontier = append(frontier, p)
-			bestMTTSF = p.MTTSF
-		}
+		fm.Insert(p)
 	}
-	return frontier
+	return fm.Frontier()
 }
 
 // TradeoffFrontier explores the design space and returns its Pareto
 // frontier: the complete menu of optimal MTTSF-vs-cost tradeoffs the
-// system designer can pick from.
-func TradeoffFrontier(cfg Config, space DesignSpace) ([]DesignPoint, error) {
-	points, err := ExploreDesignSpace(cfg, space)
+// system designer can pick from. It accepts the same options as
+// ExploreDesignSpace.
+func TradeoffFrontier(cfg Config, space DesignSpace, opts ...SweepOption) ([]DesignPoint, error) {
+	points, err := ExploreDesignSpace(cfg, space, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -130,7 +130,7 @@ func TestExploreDesignSpaceValidation(t *testing.T) {
 
 func TestDefaultDesignSpace(t *testing.T) {
 	d := DefaultDesignSpace()
-	if d.size() != len(PaperMGrid)*len(PaperTIDSGrid)*3 {
-		t.Errorf("size = %d", d.size())
+	if d.Size() != len(PaperMGrid)*len(PaperTIDSGrid)*3 {
+		t.Errorf("size = %d", d.Size())
 	}
 }

@@ -19,21 +19,33 @@ type SweepPoint struct {
 	Result *Result
 }
 
-// SweepTIDS evaluates the model at every TIDS in grid through the default
-// Evaluator's batch API: parallelism is bounded by the evaluator's worker
-// pool (no goroutine-per-point fan-out), and when the memoizing engine is
-// installed, grid points already evaluated — by this sweep or any earlier
-// one — are served from cache.
-func SweepTIDS(cfg Config, grid []float64) ([]SweepPoint, error) {
+// SweepTIDS evaluates the model at every TIDS in grid. By default every
+// point goes through the default Evaluator's batch API: parallelism is
+// bounded by the evaluator's worker pool (no goroutine-per-point fan-out),
+// and when the memoizing engine is installed, grid points already
+// evaluated — by this sweep or any earlier one — are served from cache.
+// WithWarmStart/WithIncremental chain the points through one solver
+// session instead, and WithContext makes the sweep cancelable between
+// points.
+func SweepTIDS(cfg Config, grid []float64, opts ...SweepOption) ([]SweepPoint, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("core: empty TIDS grid")
+	}
+	o := applySweepOptions(opts)
+	if o.WarmStart || o.Incremental {
+		if pe, ok := DefaultEvaluator().(PreparedEvaluator); ok {
+			return sweepTIDSChained(cfg, grid, o, pe)
+		}
+	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
 	}
 	cfgs := make([]Config, len(grid))
 	for i, tids := range grid {
 		cfgs[i] = cfg
 		cfgs[i].TIDS = tids
 	}
-	results, err := DefaultEvaluator().EvalBatch(cfgs)
+	results, err := evalBatchMaybeCtx(o, cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("core: TIDS sweep: %w", err)
 	}
@@ -74,22 +86,26 @@ type SweepOpts struct {
 	Incremental bool
 }
 
-// SweepTIDSOpts is SweepTIDS with explicit sweep options. With WarmStart
-// set and a PreparedEvaluator installed (both Direct and the memoizing
-// engine qualify), each solve warm-starts from the previous grid point;
-// otherwise it behaves exactly like SweepTIDS.
+// SweepTIDSOpts is SweepTIDS with an explicit options struct, kept for
+// callers predating the functional options. With WarmStart set and a
+// PreparedEvaluator installed (both Direct and the memoizing engine
+// qualify), each solve warm-starts from the previous grid point; otherwise
+// it behaves exactly like SweepTIDS.
 func SweepTIDSOpts(cfg Config, grid []float64, opts SweepOpts) ([]SweepPoint, error) {
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("core: empty TIDS grid")
-	}
-	pe, ok := DefaultEvaluator().(PreparedEvaluator)
-	if !(opts.WarmStart || opts.Incremental) || !ok {
-		return SweepTIDS(cfg, grid)
-	}
+	return SweepTIDS(cfg, grid, withSweepOpts(opts))
+}
+
+// sweepTIDSChained is the warm/incremental sequential path: points
+// evaluate in grid order on the calling goroutine through one
+// ctmc.SweepSolver (and, with Incremental, one PreparedDelta session).
+func sweepTIDSChained(cfg Config, grid []float64, opts sweepConfig, pe PreparedEvaluator) ([]SweepPoint, error) {
 	points := make([]SweepPoint, len(grid))
 	ws := ctmc.NewSweepSolver()
 	var pd *PreparedDelta
 	for i, tids := range grid {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		c := cfg
 		c.TIDS = tids
 		// Result-cached points cost neither a build nor a solve (they

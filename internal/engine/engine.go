@@ -439,7 +439,14 @@ func (e *Engine) Prepared(cfg core.Config) (*core.Prepared, error) {
 // prepared model surviving the byte-budgeted LRU. A fully cached sweep
 // thus re-solves nothing.
 func (e *Engine) EvalWith(cfg core.Config, prepare func() (*core.Prepared, error)) (*core.Result, error) {
-	return e.evalShared(context.Background(), Fingerprint(cfg), cfg, func() (*core.Result, error) {
+	return e.EvalWithContext(context.Background(), cfg, prepare)
+}
+
+// EvalWithContext is EvalWith with EvalContext's cancellation semantics: a
+// canceled caller stops before registering a fresh evaluation, or walks
+// away from one already underway (which runs to completion and is cached).
+func (e *Engine) EvalWithContext(ctx context.Context, cfg core.Config, prepare func() (*core.Prepared, error)) (*core.Result, error) {
+	return e.evalShared(ctx, Fingerprint(cfg), cfg, func() (*core.Result, error) {
 		p, err := prepare()
 		if err != nil {
 			return nil, err

@@ -42,31 +42,13 @@ func (e *Engine) EvalBatchIncremental(ctx context.Context, cfgs []core.Config) (
 	}
 
 	for _, key := range order {
-		var pd *core.PreparedDelta
+		sess := &deltaSession{e: e}
 		for _, i := range groups[key] {
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				continue
 			}
-			cfg := cfgs[i]
-			res, err := e.EvalWith(cfg, func() (*core.Prepared, error) {
-				if pd != nil {
-					if p, err := pd.Prepared(cfg); err == nil {
-						return p, nil
-					}
-					// Structural delta or hard patched-solve failure:
-					// fall through to the full path and re-anchor.
-					pd = nil
-				}
-				p, err := e.preparedFor(Fingerprint(cfg), cfg)
-				if err != nil {
-					return nil, err
-				}
-				if npd, err := core.NewPreparedDelta(p); err == nil {
-					pd = npd
-				}
-				return p, nil
-			})
+			res, err := sess.eval(ctx, cfgs[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("config %d: %w", i, err)
 				continue
@@ -75,4 +57,36 @@ func (e *Engine) EvalBatchIncremental(ctx context.Context, cfgs []core.Config) (
 		}
 	}
 	return results, errors.Join(errs...)
+}
+
+// deltaSession walks the points of one structural family through a single
+// PreparedDelta chain: the first miss pays a full prepare and anchors the
+// session, every later rate-only miss patches and re-solves in place, and
+// a structural delta or hard patched-solve failure falls back to the full
+// path and re-anchors. Shared by EvalBatchIncremental and the adaptive
+// frontier driver.
+type deltaSession struct {
+	e  *Engine
+	pd *core.PreparedDelta
+}
+
+// eval evaluates one point through the session (cache hits cost nothing
+// and do not advance the chain).
+func (s *deltaSession) eval(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	return s.e.EvalWithContext(ctx, cfg, func() (*core.Prepared, error) {
+		if s.pd != nil {
+			if p, err := s.pd.Prepared(cfg); err == nil {
+				return p, nil
+			}
+			s.pd = nil
+		}
+		p, err := s.e.preparedFor(Fingerprint(cfg), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if npd, err := core.NewPreparedDelta(p); err == nil {
+			s.pd = npd
+		}
+		return p, nil
+	})
 }

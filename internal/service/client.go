@@ -121,6 +121,38 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return NewResilientClient(baseURL, httpClient, RetryPolicy{})
 }
 
+// ClientOption configures a Client built by NewClientOpts.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	http   *http.Client
+	policy RetryPolicy
+}
+
+// WithHTTPClient selects an explicit http.Client (custom transports,
+// proxies, TLS configuration); the default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *clientConfig) { c.http = hc }
+}
+
+// WithRetryPolicy opts the client into resilience: transparent retries
+// with jittered backoff and a circuit breaker per the policy. Without it
+// the client is fail-fast (one attempt, no breaker).
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *clientConfig) { c.policy = p }
+}
+
+// NewClientOpts builds a client for the server at baseURL from functional
+// options — the one constructor behind repro.NewClient; the positional
+// NewClient/NewResilientClient forms remain for existing callers.
+func NewClientOpts(baseURL string, opts ...ClientOption) *Client {
+	var cc clientConfig
+	for _, o := range opts {
+		o(&cc)
+	}
+	return NewResilientClient(baseURL, cc.http, cc.policy)
+}
+
 // NewResilientClient is NewClient with a retry/breaker policy.
 func NewResilientClient(baseURL string, httpClient *http.Client, policy RetryPolicy) *Client {
 	if httpClient == nil {

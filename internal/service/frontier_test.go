@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestFrontierStreamMatchesFullGrid is the acceptance test for POST
+// /v1/frontier: the streamed terminal frontier must match TradeoffFrontier
+// over the full design-space grid (same point set, values to 1e-9 rel),
+// while spending fewer evaluations than the grid has points, with a
+// well-formed revision stream along the way.
+func TestFrontierStreamMatchesFullGrid(t *testing.T) {
+	eng, client := newTestServer(t, Options{})
+	cfg := testConfig()
+	cfg.N = 25 // different regime from the engine-level test at N=12
+	space := core.DefaultDesignSpace()
+
+	var revs []engine.FrontierRevision
+	frontier, evals, err := client.Frontier(context.Background(),
+		FrontierRequest{Config: cfg, Space: &space},
+		func(rev engine.FrontierRevision) error {
+			revs = append(revs, rev)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := space.Size()
+	if evals <= 0 || evals >= total {
+		t.Errorf("adaptive loop spent %d evals on a %d-point grid", evals, total)
+	}
+	t.Logf("remote adaptive frontier: %d/%d evals, %d points, %d revisions",
+		evals, total, len(frontier), len(revs))
+
+	// Reference: the full grid through the same engine (shared solver path
+	// and cache), filtered to its Pareto frontier.
+	cfgs := space.Enumerate(cfg)
+	results, err := eng.EvalBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]core.DesignPoint, len(results))
+	for i, res := range results {
+		points[i] = core.DesignPoint{
+			M: cfgs[i].M, TIDS: cfgs[i].TIDS, Detection: cfgs[i].Detection,
+			MTTSF: res.MTTSF, Ctotal: res.Ctotal,
+		}
+	}
+	want := core.ParetoFrontier(points)
+	if len(frontier) != len(want) {
+		t.Fatalf("streamed frontier has %d points, full grid %d:\n got %v\nwant %v",
+			len(frontier), len(want), frontier, want)
+	}
+	for i := range want {
+		g, w := frontier[i], want[i]
+		if g.M != w.M || g.TIDS != w.TIDS || g.Detection != w.Detection {
+			t.Errorf("frontier point %d: got (m=%d TIDS=%v %v), want (m=%d TIDS=%v %v)",
+				i, g.M, g.TIDS, g.Detection, w.M, w.TIDS, w.Detection)
+		}
+		if relDiff(g.MTTSF, w.MTTSF) > 1e-9 || relDiff(g.Ctotal, w.Ctotal) > 1e-9 {
+			t.Errorf("frontier point %d: values diverge: got (%v, %v), want (%v, %v)",
+				i, g.MTTSF, g.Ctotal, w.MTTSF, w.Ctotal)
+		}
+	}
+
+	// Stream invariants: the last line is the terminal revision carrying
+	// the returned frontier; generations strictly increase before it.
+	if len(revs) < 2 {
+		t.Fatalf("only %d revisions streamed", len(revs))
+	}
+	last := revs[len(revs)-1]
+	if !last.Done || last.Evals != evals || len(last.Frontier) != len(frontier) {
+		t.Errorf("terminal revision %+v does not match returned state", last)
+	}
+	prevGen := 0
+	for _, rev := range revs[:len(revs)-1] {
+		if rev.Done || rev.Point == nil {
+			t.Fatalf("non-terminal revision without a point: %+v", rev)
+		}
+		if rev.Generation <= prevGen {
+			t.Errorf("generation went %d -> %d", prevGen, rev.Generation)
+		}
+		prevGen = rev.Generation
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestFrontierBudgetClamp pins the budget bound: the server spends at most
+// the requested evaluation budget, and still ends the stream with a
+// terminal revision.
+func TestFrontierBudgetClamp(t *testing.T) {
+	_, client := newTestServer(t, Options{})
+	frontier, evals, err := client.Frontier(context.Background(),
+		FrontierRequest{Config: testConfig(), EvalBudget: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals > 5 {
+		t.Errorf("evals = %d exceeds the requested budget of 5", evals)
+	}
+	if len(frontier) == 0 {
+		t.Error("budgeted stream returned an empty frontier")
+	}
+}
+
+// streamingFrontierBackend satisfies Backend via the embedded engine and
+// overrides AdaptiveFrontier with an unbounded loop that respects the
+// context and the server's Gate — so the disconnect test can prove the
+// request context stops the loop without racing real solver timings.
+type streamingFrontierBackend struct {
+	*engine.Engine
+	mu      sync.Mutex
+	evals   int
+	stopped chan struct{} // closed when the loop observes its shutdown signal
+}
+
+func (b *streamingFrontierBackend) evalCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evals
+}
+
+func (b *streamingFrontierBackend) AdaptiveFrontier(ctx context.Context, cfg core.Config, opts engine.FrontierOptions, emit func(engine.FrontierRevision) error) ([]core.DesignPoint, int, error) {
+	defer close(b.stopped)
+	for gen := 1; ; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, b.evalCount(), err
+		}
+		release, err := opts.Gate(ctx)
+		if err != nil {
+			return nil, b.evalCount(), err
+		}
+		time.Sleep(2 * time.Millisecond) // one "solve" at the point boundary
+		release()
+		b.mu.Lock()
+		b.evals++
+		n := b.evals
+		b.mu.Unlock()
+		rev := engine.FrontierRevision{
+			Generation: gen,
+			Point:      &core.DesignPoint{M: 5, TIDS: float64(gen), MTTSF: float64(gen)},
+			Evals:      n,
+		}
+		if err := emit(rev); err != nil {
+			return nil, b.evalCount(), err
+		}
+	}
+}
+
+// TestFrontierClientDisconnectCancelsLoop pins the mid-stream cancellation
+// contract: when the client hangs up partway through an NDJSON frontier
+// stream, the server's active-learning loop observes the request context
+// and stops at the next point boundary instead of orphaning solves.
+func TestFrontierClientDisconnectCancelsLoop(t *testing.T) {
+	backend := &streamingFrontierBackend{Engine: engine.New(engine.Options{}), stopped: make(chan struct{})}
+	ts := httptest.NewServer(New(Options{Backend: backend}))
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const consume = 3
+	seen := 0
+	_, _, err := client.Frontier(ctx, FrontierRequest{Config: testConfig()},
+		func(engine.FrontierRevision) error {
+			seen++
+			if seen == consume {
+				cancel() // hang up mid-stream
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("disconnected stream returned nil error")
+	}
+	select {
+	case <-backend.stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("active-learning loop kept running after the client disconnected")
+	}
+	// The loop is unbounded: only cancellation can have stopped it, and
+	// once stopped nothing evaluates further. The count bounds how far past
+	// the hang-up it ran — generous slack for cancellation propagation, but
+	// far below what an orphaned loop would rack up.
+	if n := backend.evalCount(); n < consume || n > consume+40 {
+		t.Errorf("loop evaluated %d points for %d consumed revisions", n, consume)
+	}
+}
+
+// TestFrontierUnsupportedBackend pins the 501 contract for backends without
+// adaptive-frontier support.
+func TestFrontierUnsupportedBackend(t *testing.T) {
+	backend := &blockingBackend{started: make(chan struct{}, 8), release: make(chan struct{})}
+	ts := httptest.NewServer(New(Options{Backend: backend}))
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	_, _, err := client.Frontier(context.Background(), FrontierRequest{Config: testConfig()}, nil)
+	if err == nil || !strings.Contains(err.Error(), "501") {
+		t.Fatalf("err = %v, want an HTTP 501 failure", err)
+	}
+}
+
+// TestBatchStreamByteEquivalent pins the streamed /v1/batch framing: with
+// Accept: application/x-ndjson the response is one line per point in index
+// order, and each line's result bytes are exactly the JSON the buffered
+// BatchResponse carries for that index.
+func TestBatchStreamByteEquivalent(t *testing.T) {
+	eng, client := newTestServer(t, Options{})
+	cfgs := testGridConfigs()
+
+	// Buffered reference over the wire (also warms the cache, so the
+	// streamed pass serves identical Results from it).
+	buffered, err := client.EvalBatch(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload, _ := json.Marshal(BatchRequest{Configs: cfgs})
+	req, _ := http.NewRequest(http.MethodPost, client.base+"/v1/batch", bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ndjsonType)
+	resp, err := client.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed batch: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ndjsonType {
+		t.Fatalf("streamed batch Content-Type = %q, want %q", ct, ndjsonType)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	i := 0
+	for sc.Scan() {
+		if i >= len(cfgs) {
+			t.Fatalf("stream produced more than %d lines", len(cfgs))
+		}
+		wantLine, _ := json.Marshal(BatchStreamLine{Index: i, Result: buffered[i]})
+		if !bytes.Equal(sc.Bytes(), wantLine) {
+			t.Errorf("line %d not byte-equal to the buffered result:\n stream %s\n buffer %s",
+				i, sc.Bytes(), wantLine)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(cfgs) {
+		t.Fatalf("stream produced %d lines for %d points", i, len(cfgs))
+	}
+
+	// The client wrapper decodes the same stream back to the same results.
+	var got []*core.Result
+	err = client.EvalBatchStream(context.Background(), cfgs, func(line BatchStreamLine) error {
+		if line.Error != "" {
+			return errors.New(line.Error)
+		}
+		got = append(got, line.Result)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(buffered) {
+		t.Fatalf("EvalBatchStream yielded %d results, want %d", len(got), len(buffered))
+	}
+	for i := range got {
+		a, _ := json.Marshal(got[i])
+		b, _ := json.Marshal(buffered[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("point %d: streamed result differs from buffered", i)
+		}
+	}
+	_ = eng
+}

@@ -78,6 +78,9 @@ type Options struct {
 	// payloads get 413 without being buffered, so oversized posts cannot
 	// OOM the daemon before MaxBatchPoints is even checked.
 	MaxBodyBytes int64
+	// MaxFrontierEvals bounds the fresh evaluations one POST /v1/frontier
+	// request may spend (default 4096); request budgets are clamped to it.
+	MaxFrontierEvals int
 	// SolveTimeout, when positive, is the per-point watchdog: an
 	// evaluation that has not answered within it is abandoned with a 503
 	// (the engine keeps solving in the background and caches the result,
@@ -124,6 +127,7 @@ type Server struct {
 	evalSem      chan struct{} // solver work: individual point evaluations
 	maxBatch     int
 	maxBody      int64
+	maxFrontier  int
 	solveTimeout time.Duration
 	ckptStatus   func() persist.CheckpointStatus
 	mux          *http.ServeMux
@@ -155,6 +159,9 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 64 << 20
 	}
+	if opts.MaxFrontierEvals <= 0 {
+		opts.MaxFrontierEvals = 4096
+	}
 	workers := opts.Backend.WorkerBound()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -165,6 +172,7 @@ func New(opts Options) *Server {
 		evalSem:      make(chan struct{}, workers),
 		maxBatch:     opts.MaxBatchPoints,
 		maxBody:      opts.MaxBodyBytes,
+		maxFrontier:  opts.MaxFrontierEvals,
 		solveTimeout: opts.SolveTimeout,
 		ckptStatus:   opts.CheckpointStatus,
 		mux:          http.NewServeMux(),
@@ -178,6 +186,7 @@ func New(opts Options) *Server {
 	s.lastCounters = [4]uint64{est.SolverFallbacks, est.PanicsRecovered, 0, 0}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -452,6 +461,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.points.Add(uint64(len(req.Configs)))
+
+	// Clients that accept NDJSON get each point's line flushed as it
+	// resolves instead of one buffered body; same fan-out, same bytes per
+	// point, different framing.
+	if acceptsNDJSON(r) {
+		s.streamBatch(w, r, req.Configs)
+		return
+	}
 
 	// Per-point fan-out with per-point errors kept addressable (the
 	// engine's EvalBatchContext joins them into one error, which a remote
