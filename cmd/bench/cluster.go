@@ -1,0 +1,274 @@
+package main
+
+// Cluster serving workloads: the 3-node consistent-hash evaluation tier
+// measured end to end through a coordinator, warm (cluster_batch) and with
+// one replica SIGKILL'd mid-run (cluster_batch_kill). Both assert the
+// cluster contract the tests pin — every response byte-identical to the
+// warm reference — so a perf run doubles as a correctness sweep.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/service"
+)
+
+// benchClusterNode is one in-process cluster member: engine, ring node,
+// and an httptest server whose handler can be swapped to simulate a kill
+// (replaced by a bare 502) and a rejoin (restored) at a stable URL.
+type benchClusterNode struct {
+	id   string
+	eng  *engine.Engine
+	node *cluster.Node
+	ts   *httptest.Server
+	h    atomic.Pointer[http.Handler]
+}
+
+func (b *benchClusterNode) set(h http.Handler) { b.h.Store(&h) }
+
+func (b *benchClusterNode) kill() {
+	var down http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "node down", http.StatusBadGateway)
+	})
+	b.h.Store(&down)
+}
+
+// newBenchCluster boots nNodes members with the given replication factor.
+// The coordinator (index 0) gets coordEngineOpts — the workloads give it a
+// deliberately tiny result cache so every request actually exercises ring
+// routing instead of coordinator-local cache hits.
+func newBenchCluster(nNodes, replication int, coordEngineOpts engine.Options) []*benchClusterNode {
+	nodes := make([]*benchClusterNode, nNodes)
+	members := make([]cluster.Member, nNodes)
+	for i := range nodes {
+		b := &benchClusterNode{id: fmt.Sprintf("node-%d", i)}
+		b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*b.h.Load()).ServeHTTP(w, r)
+		}))
+		b.kill() // placeholder until the service is wired
+		nodes[i] = b
+		members[i] = cluster.Member{ID: b.id, URL: b.ts.URL}
+	}
+	for i, b := range nodes {
+		opts := engine.Options{}
+		if i == 0 {
+			opts = coordEngineOpts
+		}
+		b.eng = engine.New(opts)
+		node, err := cluster.NewNode(cluster.Options{
+			SelfID:            b.id,
+			Members:           members,
+			Replication:       replication,
+			HeartbeatInterval: 20 * time.Millisecond,
+			Engine:            b.eng,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		b.node = node
+		svc := service.New(service.Options{Backend: b.eng, Cluster: node})
+		b.set(svc)
+		node.Start()
+	}
+	return nodes
+}
+
+func (b *benchClusterNode) close() {
+	b.node.Stop()
+	b.ts.Close()
+}
+
+// clusterGridConfigs picks a sweep whose every point lives on the two
+// non-coordinator replicas: TIDS values are scanned (deterministic ring)
+// until none of the keys hash a replica onto the coordinator. With the
+// coordinator's cache also kept too small for the sweep, each request is
+// forced through ring routing — a remote warm hit on the owner — which is
+// the serving path this workload exists to measure.
+func clusterGridConfigs(coord *cluster.Node, n, points int) []core.Config {
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	cfgs := make([]core.Config, 0, points)
+	for tids := 30.0; tids < 100000 && len(cfgs) < points; tids++ {
+		c := cfg
+		c.TIDS = tids
+		if !coord.HasReplica(engine.Fingerprint(c), coord.SelfID()) {
+			cfgs = append(cfgs, c)
+		}
+	}
+	if len(cfgs) < points {
+		fatal(fmt.Errorf("cluster grid scan found only %d of %d off-coordinator points", len(cfgs), points))
+	}
+	return cfgs
+}
+
+// flushBenchCluster drains every node's replication queue so the replica
+// set is complete before measurement (or a kill) begins.
+func flushBenchCluster(nodes []*benchClusterNode) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, b := range nodes {
+		if err := b.node.FlushReplication(ctx); err != nil {
+			fatal(fmt.Errorf("cluster replication flush: %w", err))
+		}
+	}
+}
+
+// clusterBatchWorkload measures warm cluster serving: a 3-node ring,
+// replication 2, every point owned off-coordinator, coordinator cache too
+// small to short-circuit routing. Each request therefore fans out over
+// peer RPCs to owners serving from their replica caches. All responses
+// must stay byte-identical to the first (warm reference) pass.
+func clusterBatchWorkload(n int) Result {
+	nodes := newBenchCluster(3, 2, engine.Options{CacheSize: 2})
+	defer func() {
+		for _, b := range nodes {
+			b.close()
+		}
+	}()
+	cfgs := clusterGridConfigs(nodes[0].node, n, 4)
+	client := service.NewClient(nodes[0].ts.URL, nil)
+	ctx := context.Background()
+
+	want, err := client.EvalBatch(ctx, cfgs) // warm the owners' caches
+	if err != nil {
+		fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		fatal(err)
+	}
+	flushBenchCluster(nodes)
+
+	const requests = 256
+	clients := runtime.GOMAXPROCS(0)
+	latencies := make([]time.Duration, requests)
+	var failed, mismatched atomic.Int64
+	start := time.Now()
+	core.ForEachIndexed(requests, clients, func(i int) {
+		t0 := time.Now()
+		got, err := client.EvalBatch(ctx, cfgs)
+		latencies[i] = time.Since(t0)
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil || !bytes.Equal(gotJSON, wantJSON) {
+			mismatched.Add(1)
+		}
+	})
+	wall := time.Since(start)
+	if failed.Load() > 0 {
+		fatal(fmt.Errorf("cluster_batch: %d of %d requests failed", failed.Load(), requests))
+	}
+	if mismatched.Load() > 0 {
+		fatal(fmt.Errorf("cluster_batch: %d of %d responses not byte-identical to the warm reference", mismatched.Load(), requests))
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	st := nodes[0].node.Status()
+	r := Result{
+		Name:       "cluster_batch",
+		N:          n,
+		Iterations: requests,
+		NsPerOp:    int64(total) / requests,
+		ReqPerSec:  float64(requests) / wall.Seconds(),
+		P99Ns:      int64(sorted[requests*99/100]),
+	}
+	fmt.Printf("%-20s N=%-4d %12d ns/op  %8.0f req/s  p99 %s (3-node ring, %d remote routes, all byte-identical)\n",
+		r.Name, n, r.NsPerOp, r.ReqPerSec, time.Duration(r.P99Ns), st.RoutedRemote)
+	return r
+}
+
+// clusterBatchKillWorkload is cluster_batch with one replica killed
+// halfway through: node-2's handler is swapped for a bare 502 mid-run, so
+// its points fail over to the surviving replica. Every request must still
+// succeed, byte-identical to the warm reference — availability without
+// wrong answers, measured.
+func clusterBatchKillWorkload(n int) Result {
+	nodes := newBenchCluster(3, 2, engine.Options{CacheSize: 2})
+	defer func() {
+		for _, b := range nodes {
+			b.close()
+		}
+	}()
+	cfgs := clusterGridConfigs(nodes[0].node, n, 4)
+	client := service.NewClient(nodes[0].ts.URL, nil)
+	ctx := context.Background()
+
+	want, err := client.EvalBatch(ctx, cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		fatal(err)
+	}
+	flushBenchCluster(nodes) // both replicas hold every point before the kill
+
+	const requests = 256
+	latencies := make([]time.Duration, requests)
+	var failed, mismatched atomic.Int64
+	start := time.Now()
+	// Sequential on purpose: the kill must land at a well-defined point of
+	// the request sequence, so "every request after the kill still
+	// succeeded" is a meaningful statement.
+	for i := 0; i < requests; i++ {
+		if i == requests/2 {
+			nodes[2].kill()
+		}
+		t0 := time.Now()
+		got, err := client.EvalBatch(ctx, cfgs)
+		latencies[i] = time.Since(t0)
+		if err != nil {
+			failed.Add(1)
+			continue
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil || !bytes.Equal(gotJSON, wantJSON) {
+			mismatched.Add(1)
+		}
+	}
+	wall := time.Since(start)
+	if failed.Load() > 0 {
+		fatal(fmt.Errorf("cluster_batch_kill: %d of %d requests failed across the node kill", failed.Load(), requests))
+	}
+	if mismatched.Load() > 0 {
+		fatal(fmt.Errorf("cluster_batch_kill: %d of %d responses not byte-identical across the node kill", mismatched.Load(), requests))
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	st := nodes[0].node.Status()
+	r := Result{
+		Name:       "cluster_batch_kill",
+		N:          n,
+		Iterations: requests,
+		NsPerOp:    int64(total) / requests,
+		ReqPerSec:  float64(requests) / wall.Seconds(),
+		P99Ns:      int64(sorted[requests*99/100]),
+	}
+	fmt.Printf("%-20s N=%-4d %12d ns/op  %8.0f req/s  p99 %s (replica killed mid-run: %d hedges, %d degraded, 0 failures)\n",
+		r.Name, n, r.NsPerOp, r.ReqPerSec, time.Duration(r.P99Ns), st.Hedges, st.DegradedSolves)
+	return r
+}

@@ -190,6 +190,8 @@ func main() {
 	f.Workloads = append(f.Workloads, largeNWorkloads(largeNSide(*preset))...)
 	f.Workloads = append(f.Workloads, serveBatchWorkload(30))
 	f.Workloads = append(f.Workloads, serveBatchFaultyWorkload(30))
+	f.Workloads = append(f.Workloads, clusterBatchWorkload(30))
+	f.Workloads = append(f.Workloads, clusterBatchKillWorkload(30))
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

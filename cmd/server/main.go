@@ -7,6 +7,18 @@
 //	server [-addr host:port] [-snapshot file] [-checkpoint interval]
 //	       [-inflight n] [-max-batch n] [-workers n]
 //	       [-cache-size n] [-prepared-mb mb] [-solve-timeout d]
+//	       [-node-id id -peers id=url,...] [-replication r]
+//	       [-heartbeat interval]
+//
+// With -peers and -node-id set, the daemon joins a fault-tolerant
+// evaluation cluster: -peers lists every member (this node included) as
+// id=url pairs — the same list, in any order, on every node — and the
+// members consistently hash the engine's Config fingerprints across a
+// shared ring. Each point evaluated through /v1/batch, /v1/eval, or
+// /v1/frontier routes to its ring owner, replicates to -replication nodes,
+// and fails over (next replica, then a local degraded solve) when peers
+// die; a restarted node re-syncs its arc of the keyspace from its
+// successors. /healthz reports "degraded" while any peer is believed down.
 //
 // With -snapshot set, the server warm-starts its result cache at boot from
 // the freshest valid snapshot generation — the current file, or the .prev
@@ -35,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/ctmc"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
@@ -52,6 +65,10 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "result cache entries (0 = 4096)")
 	preparedMB := flag.Int64("prepared-mb", 0, "prepared-model cache budget in MiB (0 = 256)")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-point watchdog: abandon a solve with a retryable 503 after this long (0 = no watchdog)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity (requires -peers)")
+	peers := flag.String("peers", "", "full cluster topology as id=url,id=url,... including this node (empty = single-node)")
+	replication := flag.Int("replication", 2, "cache-entry replicas per key across the ring (clamped to the member count)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster peer heartbeat interval")
 	flag.Parse()
 	log.SetPrefix("server: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -90,11 +107,33 @@ func main() {
 		ckpt.Start(func(err error) { log.Printf("checkpoint failed: %v", err) })
 	}
 
+	var node *cluster.Node
+	if *peers != "" || *nodeID != "" {
+		members, err := cluster.ParseMembers(*peers)
+		if err != nil {
+			log.Fatalf("refusing to start: %v", err)
+		}
+		node, err = cluster.NewNode(cluster.Options{
+			SelfID:            *nodeID,
+			Members:           members,
+			Replication:       *replication,
+			HeartbeatInterval: *heartbeat,
+			Engine:            eng,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("refusing to start: %v", err)
+		}
+		log.Printf("cluster: node %q in %d-member ring, replication %d",
+			node.SelfID(), len(node.Members()), node.Replication())
+	}
+
 	svc := service.New(service.Options{
 		Backend:        eng,
 		MaxInflight:    *inflight,
 		MaxBatchPoints: *maxBatch,
 		SolveTimeout:   *solveTimeout,
+		Cluster:        node,
 		CheckpointStatus: func() persist.CheckpointStatus {
 			if ckpt == nil {
 				return persist.CheckpointStatus{}
@@ -114,6 +153,11 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if node != nil {
+		// Heartbeats, the replication worker, and the rejoin re-sync start
+		// once the listener is up, so peers probing back find us alive.
+		node.Start()
+	}
 	log.Printf("listening on %s (snapshot=%q)", *addr, *snapshot)
 
 	select {
@@ -129,6 +173,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if node != nil {
+		node.Stop()
 	}
 	if ckpt != nil {
 		if err := ckpt.Stop(); err != nil {

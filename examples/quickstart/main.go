@@ -23,23 +23,35 @@ import (
 func main() {
 	server := flag.String("server", "", "base URL of a running cmd/server (empty = evaluate in process)")
 	n := flag.Int("n", 40, "group size N (paper uses 100; 40 keeps the demo fast)")
+	printPoints := flag.Bool("print", false, "emit one machine-diffable line per TIDS grid point (CI compares runs with diff)")
 	flag.Parse()
 
 	cfg := repro.DefaultConfig()
 	cfg.N = *n
 
 	var (
-		res *repro.Result
-		opt *repro.Optimum
-		err error
+		res  *repro.Result
+		opt  *repro.Optimum
+		grid []*repro.Result
+		err  error
 	)
 	if *server == "" {
-		res, opt, err = runLocal(cfg)
+		res, opt, grid, err = runLocal(cfg)
 	} else {
-		res, opt, err = runRemote(*server, cfg)
+		res, opt, grid, err = runRemote(*server, cfg)
 	}
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
+	}
+
+	if *printPoints {
+		// One line per grid point, every float at full diffable precision:
+		// the CI cluster smoke job runs this against a single node and
+		// against a 3-node coordinator and requires the outputs to agree.
+		for i, r := range grid {
+			fmt.Printf("TIDS=%g MTTSF=%.9e Ctotal=%.9e ProbC1=%.9e ProbC2=%.9e\n",
+				repro.PaperTIDSGrid[i], r.MTTSF, r.Ctotal, r.ProbC1, r.ProbC2)
+		}
 	}
 
 	fmt.Println("=== voting-based IDS for a mobile group communication system ===")
@@ -60,28 +72,39 @@ func main() {
 }
 
 // runLocal evaluates in process through the default memoizing engine.
-func runLocal(cfg repro.Config) (*repro.Result, *repro.Optimum, error) {
+func runLocal(cfg repro.Config) (*repro.Result, *repro.Optimum, []*repro.Result, error) {
 	res, err := repro.Analyze(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	// The full grid, for -print; the memoizing default engine shares these
+	// solves with the optimum scan below.
+	cfgs := make([]repro.Config, len(repro.PaperTIDSGrid))
+	for i, tids := range repro.PaperTIDSGrid {
+		cfgs[i] = cfg
+		cfgs[i].TIDS = tids
+	}
+	grid, err := repro.EvalBatch(cfgs)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	// The design question: which detection interval maximizes survival?
 	opt, err := repro.OptimalTIDSForMTTSF(cfg, repro.PaperTIDSGrid)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return res, opt, nil
+	return res, opt, grid, nil
 }
 
 // runRemote runs the identical analysis against a server: one batch over
 // the paper's TIDS grid (plus the configured point), optimum picked
 // client-side, and a stats line showing how warm the server's cache was.
-func runRemote(baseURL string, cfg repro.Config) (*repro.Result, *repro.Optimum, error) {
+func runRemote(baseURL string, cfg repro.Config) (*repro.Result, *repro.Optimum, []*repro.Result, error) {
 	client := repro.NewClient(baseURL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 	if err := client.Health(ctx); err != nil {
-		return nil, nil, fmt.Errorf("server not healthy: %w", err)
+		return nil, nil, nil, fmt.Errorf("server not healthy: %w", err)
 	}
 
 	cfgs := []repro.Config{cfg}
@@ -92,7 +115,7 @@ func runRemote(baseURL string, cfg repro.Config) (*repro.Result, *repro.Optimum,
 	}
 	results, err := client.EvalBatch(ctx, cfgs)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	res := results[0]
 	opt := &repro.Optimum{}
@@ -112,5 +135,5 @@ func runRemote(baseURL string, cfg repro.Config) (*repro.Result, *repro.Optimum,
 		fmt.Printf("server %s: evals=%d hits=%d lookups=%d (%.0f%% warm), %d cached results\n",
 			baseURL, st.Engine.Evals, st.Engine.Hits, lookups, warm, st.Engine.Entries)
 	}
-	return res, opt, nil
+	return res, opt, results[1:], nil
 }

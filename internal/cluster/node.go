@@ -1,0 +1,604 @@
+package cluster
+
+// Node is one member's view of the cluster: the shared ring, a liveness
+// belief about every peer, a bounded asynchronous replicator, and the
+// failover router the HTTP service sends every point evaluation through.
+//
+// The router's contract is availability without wrong answers. For a key
+// whose replica set is [r0, r1, ...] it tries, in order: itself (a local
+// solve, whose result is then replicated to the other replicas), then each
+// peer not currently believed dead (which serves from its validated cache
+// or solves locally — peer solves are never re-routed, so no forwarding
+// loop can exist). A transient peer failure (down, partitioned, resetting,
+// overloaded) records against that peer's liveness and the request hedges
+// to the next replica; a permanent failure (the configuration itself is
+// unevaluable) returns immediately, because every replica would fail it
+// identically. When every replica is unreachable the node solves locally —
+// the degraded mode — so the sweep completes no matter how many peers are
+// lost. Remote results are admitted into the local cache through the same
+// validated gate as snapshot restore, so a poisoned peer cannot seed a
+// healthy cache.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// PeerState is a node's current belief about one peer's liveness.
+type PeerState string
+
+const (
+	// PeerAlive: recent heartbeats or requests succeeded.
+	PeerAlive PeerState = "alive"
+	// PeerSuspect: a few consecutive probes failed; still routed to.
+	PeerSuspect PeerState = "suspect"
+	// PeerDead: enough consecutive failures that routing skips the peer
+	// until a heartbeat succeeds again.
+	PeerDead PeerState = "dead"
+)
+
+// Options configures a Node.
+type Options struct {
+	// SelfID names this node; it must appear in Members.
+	SelfID string
+	// Members is the full static topology, this node included. Every node
+	// must be configured with the same set (order-insensitive).
+	Members []Member
+	// Replication is R, the size of each key's replica set (owner
+	// included), clamped to the membership size. Default 2.
+	Replication int
+	// VirtualNodes is the ring points per member (default 64).
+	VirtualNodes int
+	// HeartbeatInterval is the liveness probe period (default 500ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter and DeadAfter are the consecutive-failure thresholds
+	// for the alive → suspect → dead ladder (defaults 2 and 4).
+	SuspectAfter int
+	DeadAfter    int
+	// Engine is the local cache/solver the node replicates into and
+	// exports arcs from; required.
+	Engine *engine.Engine
+	// HTTPClient carries the peer RPCs (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Logf, when set, receives operational log lines (peer transitions,
+	// re-syncs). Nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// replicationQueueBound caps the pending replication backlog; beyond it,
+// new fills are dropped (and counted) rather than stalling solves.
+const replicationQueueBound = 4096
+
+// peerHealth is the per-peer failure-detector state.
+type peerHealth struct {
+	member Member
+	fails  int // consecutive failed probes/requests; 0 = alive
+}
+
+// repItem is one queued cache-fill: a freshly solved entry and the
+// replicas it belongs on.
+type repItem struct {
+	entry   engine.SnapshotEntry
+	targets []Member
+}
+
+// Node is this process's membership in the evaluation cluster. Construct
+// with NewNode, then Start; Route is safe for concurrent use.
+type Node struct {
+	self        Member
+	ring        *Ring
+	replication int
+	eng         *engine.Engine
+	pc          *PeerClient
+	logf        func(string, ...any)
+
+	hbInterval   time.Duration
+	suspectAfter int
+	deadAfter    int
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth // every member except self
+
+	repQ       chan repItem
+	repPending atomic.Int64
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	started    atomic.Bool
+
+	routedLocal, routedRemote, hedges, degradedSolves atomic.Uint64
+	replicated, replicationDropped                    atomic.Uint64
+	fillsAdmitted                                     atomic.Uint64
+	resyncs, resyncEntries                            atomic.Uint64
+}
+
+// NewNode validates the topology and builds the node (not yet started:
+// heartbeats and the replicator run only between Start and Stop, so a
+// node used synchronously in tests needs neither).
+func NewNode(opts Options) (*Node, error) {
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("cluster: Options.Engine is required")
+	}
+	ring, err := NewRing(opts.Members, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	var self *Member
+	for i := range ring.Members() {
+		if ring.Members()[i].ID == opts.SelfID {
+			self = &ring.Members()[i]
+		}
+	}
+	if self == nil {
+		return nil, fmt.Errorf("cluster: self ID %q not in member list", opts.SelfID)
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 2
+	}
+	if opts.Replication > len(ring.Members()) {
+		opts.Replication = len(ring.Members())
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 2
+	}
+	if opts.DeadAfter <= opts.SuspectAfter {
+		opts.DeadAfter = opts.SuspectAfter + 2
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	n := &Node{
+		self:         *self,
+		ring:         ring,
+		replication:  opts.Replication,
+		eng:          opts.Engine,
+		pc:           NewPeerClient(opts.HTTPClient),
+		logf:         logf,
+		hbInterval:   opts.HeartbeatInterval,
+		suspectAfter: opts.SuspectAfter,
+		deadAfter:    opts.DeadAfter,
+		peers:        make(map[string]*peerHealth, len(ring.Members())-1),
+		repQ:         make(chan repItem, replicationQueueBound),
+		stop:         make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		if m.ID != n.self.ID {
+			n.peers[m.ID] = &peerHealth{member: m}
+		}
+	}
+	return n, nil
+}
+
+// SelfID returns this node's ring identity.
+func (n *Node) SelfID() string { return n.self.ID }
+
+// Members returns the static topology in canonical (ID-sorted) order.
+func (n *Node) Members() []Member { return n.ring.Members() }
+
+// Replication returns the effective R.
+func (n *Node) Replication() int { return n.replication }
+
+// HasReplica reports whether id is in key's replica set under this node's
+// ring and replication factor.
+func (n *Node) HasReplica(key, id string) bool {
+	return n.ring.HasReplica(key, id, n.replication)
+}
+
+// Start launches the heartbeat loop and the replication worker, and kicks
+// off an initial arc re-sync in the background (a freshly restarted node
+// pulls its share of the keyspace back from its successors without
+// blocking boot — until entries arrive it simply solves its arc cold).
+func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	n.wg.Add(2)
+	go n.heartbeatLoop()
+	go n.replicationWorker()
+	if len(n.peers) > 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			n.Resync(ctx)
+		}()
+	}
+}
+
+// Stop halts the background loops and waits for them. Queued replication
+// items not yet sent are dropped (peers re-converge via re-sync).
+func (n *Node) Stop() {
+	if !n.started.CompareAndSwap(true, false) {
+		return
+	}
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// state derives the ladder position from a consecutive-failure count.
+func (n *Node) state(fails int) PeerState {
+	switch {
+	case fails >= n.deadAfter:
+		return PeerDead
+	case fails >= n.suspectAfter:
+		return PeerSuspect
+	default:
+		return PeerAlive
+	}
+}
+
+// recordSuccess resets a peer's failure count; a dead → alive transition
+// (the peer rejoined) pushes the rejoiner's ring arc back to it, which is
+// the other half of re-sync: a restarted peer pulls from successors, and
+// successors that notice the rejoin push, so convergence does not depend
+// on which side noticed first.
+func (n *Node) recordSuccess(id string) {
+	n.mu.Lock()
+	ph, ok := n.peers[id]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	wasDead := n.state(ph.fails) == PeerDead
+	ph.fails = 0
+	n.mu.Unlock()
+	if wasDead && n.started.Load() {
+		n.logf("cluster: peer %s rejoined; pushing its arc", id)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			n.pushArcTo(ctx, ph.member)
+		}()
+	}
+}
+
+// recordFailure advances a peer one rung down the liveness ladder.
+func (n *Node) recordFailure(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ph, ok := n.peers[id]
+	if !ok {
+		return
+	}
+	before := n.state(ph.fails)
+	ph.fails++
+	if after := n.state(ph.fails); after != before {
+		n.logf("cluster: peer %s %s -> %s (%d consecutive failures)", id, before, after, ph.fails)
+	}
+}
+
+// peerStateOf returns the current belief about id (self is always alive).
+func (n *Node) peerStateOf(id string) PeerState {
+	if id == n.self.ID {
+		return PeerAlive
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ph, ok := n.peers[id]
+	if !ok {
+		return PeerDead
+	}
+	return n.state(ph.fails)
+}
+
+// Healthy reports whether every peer is currently believed alive; the
+// service maps false onto /healthz "degraded".
+func (n *Node) Healthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ph := range n.peers {
+		if n.state(ph.fails) != PeerAlive {
+			return false
+		}
+	}
+	return true
+}
+
+// heartbeatLoop probes every peer each interval. Probes run in parallel
+// (a hung peer must not delay detection of the others) and each is bounded
+// by pingTimeout.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		targets := make([]Member, 0, len(n.peers))
+		for _, ph := range n.peers {
+			targets = append(targets, ph.member)
+		}
+		n.mu.Unlock()
+		var probes sync.WaitGroup
+		for _, m := range targets {
+			probes.Add(1)
+			go func(m Member) {
+				defer probes.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), pingTimeout)
+				defer cancel()
+				if err := n.pc.Ping(ctx, m.URL); err != nil {
+					n.recordFailure(m.ID)
+				} else {
+					n.recordSuccess(m.ID)
+				}
+			}(m)
+		}
+		probes.Wait()
+	}
+}
+
+// Route evaluates cfg through the cluster: local solve when this node is
+// a replica (first in line), otherwise failover across the live replicas,
+// finally a degraded local solve. solveLocal is the service's own
+// evaluation path (cache probe, in-flight join, solve-semaphore, solver) —
+// Route never holds any local solve capacity while waiting on a remote
+// peer, so two nodes cross-routing cannot deadlock even at WorkerBound 1.
+func (n *Node) Route(ctx context.Context, cfg core.Config, solveLocal func(context.Context) (*core.Result, error)) (*core.Result, error) {
+	key := engine.Fingerprint(cfg)
+	replicas := n.ring.ReplicasFor(key, n.replication)
+	attempts := 0
+	var lastErr error
+	for _, m := range replicas {
+		if m.ID == n.self.ID {
+			attempts++
+			if attempts > 1 {
+				n.hedges.Add(1)
+			}
+			res, err := solveLocal(ctx)
+			if err == nil {
+				n.routedLocal.Add(1)
+				n.replicate(key, *res, replicas, "")
+			}
+			return res, err
+		}
+		if n.peerStateOf(m.ID) == PeerDead {
+			continue
+		}
+		attempts++
+		if attempts > 1 {
+			n.hedges.Add(1)
+		}
+		res, err := n.pc.Solve(ctx, m.URL, cfg)
+		if err == nil {
+			n.recordSuccess(m.ID)
+			n.routedRemote.Add(1)
+			// Read-through: keep a validated local copy so repeats are warm
+			// here too (and survive this peer dying later).
+			n.eng.AdmitReplica(key, *res)
+			// The serving peer only cached locally (peer solves are strictly
+			// local); the coordinator completes the R-way fill to the other
+			// replicas.
+			n.replicate(key, *res, replicas, m.ID)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The client hung up or timed out; not evidence against the peer.
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, ErrPeerUnavailable) {
+			// Permanent: the configuration itself failed; every replica
+			// would answer identically.
+			return nil, err
+		}
+		n.recordFailure(m.ID)
+		lastErr = err
+	}
+	// Every replica was dead or failed transiently: solve here, degraded.
+	n.degradedSolves.Add(1)
+	if lastErr != nil {
+		n.logf("cluster: all replicas unavailable for %s (last: %v); degrading to local solve", key, lastErr)
+	}
+	res, err := solveLocal(ctx)
+	if err == nil {
+		// Still replicate toward the true owners so the keyspace converges
+		// once they heal.
+		n.replicate(key, *res, replicas, "")
+	}
+	return res, err
+}
+
+// replicate enqueues a freshly solved entry for asynchronous fill to the
+// other members of its replica set (minus `except`, a peer that already
+// holds it). Never blocks a solve: a full queue drops the fill (counted),
+// and re-sync repairs the gap later.
+func (n *Node) replicate(key string, res core.Result, replicas []Member, except string) {
+	targets := make([]Member, 0, len(replicas))
+	for _, m := range replicas {
+		if m.ID != n.self.ID && m.ID != except {
+			targets = append(targets, m)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	item := repItem{entry: engine.SnapshotEntry{Key: key, Result: res}, targets: targets}
+	n.repPending.Add(1)
+	select {
+	case n.repQ <- item:
+	default:
+		n.repPending.Add(-1)
+		n.replicationDropped.Add(1)
+	}
+}
+
+// replicationWorker drains the fill queue. One worker keeps fills strictly
+// ordered per node and bounds the peer-RPC concurrency replication adds.
+func (n *Node) replicationWorker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case item := <-n.repQ:
+			n.sendFill(item)
+			n.repPending.Add(-1)
+		}
+	}
+}
+
+// sendFill delivers one replication item to each live target.
+func (n *Node) sendFill(item repItem) {
+	for _, m := range item.targets {
+		if n.peerStateOf(m.ID) == PeerDead {
+			continue // re-sync covers it on rejoin
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := n.pc.Fill(ctx, m.URL, n.self.ID, []engine.SnapshotEntry{item.entry})
+		cancel()
+		if err != nil {
+			n.recordFailure(m.ID)
+		} else {
+			n.recordSuccess(m.ID)
+			n.replicated.Add(1)
+		}
+	}
+}
+
+// FlushReplication blocks until every queued fill has been attempted (or
+// ctx expires). Tests use it to make replication deterministic.
+func (n *Node) FlushReplication(ctx context.Context) error {
+	for n.repPending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// AdmitFill admits replicated entries from peer `from` through the
+// engine's validated skip-existing gate, returning how many entered the
+// cache. A fill is also liveness evidence for the sender.
+func (n *Node) AdmitFill(from string, entries []engine.SnapshotEntry) int {
+	admitted := n.eng.RestoreEntries(entries)
+	n.fillsAdmitted.Add(uint64(admitted))
+	if from != "" {
+		n.recordSuccess(from)
+	}
+	return admitted
+}
+
+// EntriesFor exports every locally cached entry belonging to peerID's
+// replica set — the arc a rejoining peer pulls to re-warm.
+func (n *Node) EntriesFor(peerID string) []engine.SnapshotEntry {
+	return n.eng.SnapshotEntriesMatching(func(key string) bool {
+		return n.ring.HasReplica(key, peerID, n.replication)
+	})
+}
+
+// Resync pulls this node's own arc from every live peer and admits the
+// entries locally; the rejoin path after a crash or partition heals.
+func (n *Node) Resync(ctx context.Context) {
+	n.mu.Lock()
+	targets := make([]Member, 0, len(n.peers))
+	for _, ph := range n.peers {
+		targets = append(targets, ph.member)
+	}
+	n.mu.Unlock()
+	total := 0
+	for _, m := range targets {
+		if n.peerStateOf(m.ID) == PeerDead {
+			continue
+		}
+		entries, err := n.pc.Entries(ctx, m.URL, n.self.ID)
+		if err != nil {
+			n.recordFailure(m.ID)
+			continue
+		}
+		n.recordSuccess(m.ID)
+		total += n.eng.RestoreEntries(entries)
+	}
+	n.resyncs.Add(1)
+	n.resyncEntries.Add(uint64(total))
+	n.logf("cluster: re-sync admitted %d entries from %d peers", total, len(targets))
+}
+
+// pushArcTo sends a rejoined peer every locally cached entry in its arc
+// (push-side re-sync, triggered by observing the dead → alive transition).
+func (n *Node) pushArcTo(ctx context.Context, m Member) {
+	entries := n.EntriesFor(m.ID)
+	if len(entries) == 0 {
+		return
+	}
+	if _, err := n.pc.Fill(ctx, m.URL, n.self.ID, entries); err != nil {
+		n.recordFailure(m.ID)
+		return
+	}
+	n.resyncs.Add(1)
+	n.resyncEntries.Add(uint64(len(entries)))
+	n.logf("cluster: pushed %d arc entries to rejoined peer %s", len(entries), m.ID)
+}
+
+// PeerStatus is one peer's liveness as reported on /v1/stats.
+type PeerStatus struct {
+	ID               string    `json:"id"`
+	URL              string    `json:"url"`
+	State            PeerState `json:"state"`
+	ConsecutiveFails int       `json:"consecutive_fails"`
+}
+
+// Status is the cluster block of /v1/stats.
+type Status struct {
+	Self        string       `json:"self"`
+	Replication int          `json:"replication"`
+	Peers       []PeerStatus `json:"peers"`
+
+	RoutedLocal        uint64 `json:"routed_local"`
+	RoutedRemote       uint64 `json:"routed_remote"`
+	Hedges             uint64 `json:"hedges"`
+	DegradedSolves     uint64 `json:"degraded_solves"`
+	Replicated         uint64 `json:"replicated"`
+	ReplicationDropped uint64 `json:"replication_dropped"`
+	FillsAdmitted      uint64 `json:"fills_admitted"`
+	Resyncs            uint64 `json:"resyncs"`
+	ResyncEntries      uint64 `json:"resync_entries"`
+}
+
+// Status snapshots the node's routing counters and peer beliefs.
+func (n *Node) Status() Status {
+	st := Status{
+		Self:               n.self.ID,
+		Replication:        n.replication,
+		RoutedLocal:        n.routedLocal.Load(),
+		RoutedRemote:       n.routedRemote.Load(),
+		Hedges:             n.hedges.Load(),
+		DegradedSolves:     n.degradedSolves.Load(),
+		Replicated:         n.replicated.Load(),
+		ReplicationDropped: n.replicationDropped.Load(),
+		FillsAdmitted:      n.fillsAdmitted.Load(),
+		Resyncs:            n.resyncs.Load(),
+		ResyncEntries:      n.resyncEntries.Load(),
+	}
+	n.mu.Lock()
+	for _, ph := range n.peers {
+		st.Peers = append(st.Peers, PeerStatus{
+			ID:               ph.member.ID,
+			URL:              ph.member.URL,
+			State:            n.state(ph.fails),
+			ConsecutiveFails: ph.fails,
+		})
+	}
+	n.mu.Unlock()
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID })
+	return st
+}

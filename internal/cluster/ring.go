@@ -1,0 +1,195 @@
+// Package cluster is the peer-aware evaluation tier: a static
+// consistent-hash ring over the engine's canonical Config fingerprints,
+// R-way replication of cache entries to ring successors, heartbeat-based
+// failure detection, and a failover router that keeps answering — from the
+// owner, from any live replica, or by a local degraded solve — while nodes
+// die, lag, or partition. The HTTP service fronts a Node's Route method on
+// /v1/batch and /v1/frontier and exposes the peer RPC surface
+// (/v1/peer/solve, /v1/peer/fill, /v1/peer/entries, /v1/peer/ping) the
+// Nodes speak to each other; cmd/server composes the two from -peers,
+// -node-id, and -replication flags.
+//
+// The topology is static configuration: every node is constructed from the
+// same member list, so every node computes the same ring and the same
+// replica set for every key. Only liveness is dynamic — a member is alive,
+// suspect, or dead according to its heartbeat history, and routing skips
+// members currently believed dead. Correctness never depends on membership
+// agreement: any reachable replica serves a key from its validated cache
+// or solves it fresh, and when no replica is reachable the routing node
+// solves locally, so a wrong liveness belief costs latency, never answers.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Member is one statically configured cluster node.
+type Member struct {
+	// ID is the node's unique ring identity (stable across restarts).
+	ID string `json:"id"`
+	// URL is the base URL peers reach the node's HTTP service at.
+	URL string `json:"url"`
+}
+
+// ParseMembers parses the -peers flag syntax: comma-separated id=url
+// pairs naming every cluster member, this node included, e.g.
+//
+//	node-a=http://10.0.0.1:8080,node-b=http://10.0.0.2:8080
+//
+// Every node must be given the same list (order-insensitive) so all nodes
+// compute the same ring.
+func ParseMembers(s string) ([]Member, error) {
+	var out []Member
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(field, "=")
+		id, u = strings.TrimSpace(id), strings.TrimSpace(u)
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not id=url", field)
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			u = "http://" + u
+		}
+		out = append(out, Member{ID: id, URL: strings.TrimRight(u, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return out, nil
+}
+
+// defaultVirtualNodes is how many ring points each member projects;
+// enough that three-member rings split the keyspace within a few percent
+// of evenly.
+const defaultVirtualNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// member.
+type ringPoint struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is the consistent-hash ring over a static member list. It is
+// immutable after construction, so lookups are lock-free and every node
+// that was built from the same member list computes identical replica
+// sets.
+type Ring struct {
+	members []Member
+	points  []ringPoint
+}
+
+// NewRing builds the ring for members (order-insensitive: members are
+// sorted by ID first, so every node builds the identical ring regardless
+// of how its flag spelled the list). IDs must be unique and non-empty.
+func NewRing(members []Member, virtualNodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	seen := make(map[string]bool, len(sorted))
+	for _, m := range sorted {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member with empty ID")
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	r := &Ring{
+		members: sorted,
+		points:  make([]ringPoint, 0, len(sorted)*virtualNodes),
+	}
+	for mi, m := range sorted {
+		base := fnv64(m.ID)
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   splitmix64(base ^ splitmix64(uint64(v))),
+				member: mi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Astronomically unlikely 64-bit collision: break the tie by
+		// member index so every node still agrees on the walk order.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the ring's member list in canonical (ID-sorted) order.
+func (r *Ring) Members() []Member { return r.members }
+
+// KeyHash maps a cache key (an engine fingerprint) onto the ring.
+func KeyHash(key string) uint64 { return splitmix64(fnv64(key)) }
+
+// ReplicasFor returns the ordered replica set for key: the owner (the
+// first virtual node clockwise of the key's hash) followed by the next
+// distinct members walking the ring, n members total (clamped to the
+// membership size). The slice is freshly allocated.
+func (r *Ring) ReplicasFor(key string, n int) []Member {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := KeyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0 // wrap
+	}
+	out := make([]Member, 0, n)
+	taken := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.member] {
+			continue
+		}
+		taken[p.member] = true
+		out = append(out, r.members[p.member])
+	}
+	return out
+}
+
+// HasReplica reports whether id is in key's n-member replica set.
+func (r *Ring) HasReplica(key, id string, n int) bool {
+	for _, m := range r.ReplicasFor(key, n) {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// splitmix64 is the avalanche finalizer shared with the marking interner
+// and the fault seam.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv64 is FNV-1a over s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

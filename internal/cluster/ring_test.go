@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("node-%c", 'a'+i), URL: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return ms
+}
+
+// Every node must compute the identical ring from the same member list,
+// however its -peers flag happened to order it.
+func TestRingOrderInsensitive(t *testing.T) {
+	ms := testMembers(3)
+	r1, err := NewRing([]Member{ms[0], ms[1], ms[2]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]Member{ms[2], ms[0], ms[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		a := r1.ReplicasFor(key, 2)
+		b := r2.ReplicasFor(key, 2)
+		if len(a) != len(b) {
+			t.Fatalf("key %q: replica counts differ: %d vs %d", key, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %q replica %d: %+v vs %+v", key, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestRingReplicaSetProperties(t *testing.T) {
+	r, err := NewRing(testMembers(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		// Replicas are distinct members, clamped to membership size.
+		for _, n := range []int{1, 3, 5, 9} {
+			reps := r.ReplicasFor(key, n)
+			want := n
+			if want > 5 {
+				want = 5
+			}
+			if len(reps) != want {
+				t.Fatalf("ReplicasFor(%q, %d) returned %d members, want %d", key, n, len(reps), want)
+			}
+			seen := map[string]bool{}
+			for _, m := range reps {
+				if seen[m.ID] {
+					t.Fatalf("ReplicasFor(%q, %d) repeated member %s", key, n, m.ID)
+				}
+				seen[m.ID] = true
+			}
+		}
+		// A smaller replica set is a prefix of a larger one (successor walk).
+		r2 := r.ReplicasFor(key, 2)
+		r4 := r.ReplicasFor(key, 4)
+		for j := range r2 {
+			if r2[j] != r4[j] {
+				t.Fatalf("ReplicasFor(%q) not prefix-consistent at %d", key, j)
+			}
+		}
+		// HasReplica agrees with membership of the set.
+		for _, m := range r.Members() {
+			in := false
+			for _, rep := range r.ReplicasFor(key, 2) {
+				if rep.ID == m.ID {
+					in = true
+				}
+			}
+			if got := r.HasReplica(key, m.ID, 2); got != in {
+				t.Fatalf("HasReplica(%q, %s, 2) = %v, want %v", key, m.ID, got, in)
+			}
+		}
+	}
+}
+
+// Virtual nodes must spread ownership within sane bounds: on a 3-member
+// ring no member may own a wildly disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testMembers(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		owner := r.ReplicasFor(fmt.Sprintf("fingerprint:%d", i), 1)[0]
+		counts[owner.ID]++
+	}
+	for id, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of the keyspace (counts %v)", id, 100*share, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "", URL: "http://x"}}, 0); err == nil {
+		t.Error("empty member ID accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "a", URL: "http://x"}, {ID: "a", URL: "http://y"}}, 0); err == nil {
+		t.Error("duplicate member ID accepted")
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers(" node-b=http://10.0.0.2:8080 , node-a=10.0.0.1:8080/ ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("parsed %d members, want 2", len(ms))
+	}
+	byID := map[string]string{}
+	for _, m := range ms {
+		byID[m.ID] = m.URL
+	}
+	if byID["node-a"] != "http://10.0.0.1:8080" {
+		t.Errorf("node-a URL = %q (scheme defaulting/trailing-slash trim)", byID["node-a"])
+	}
+	if byID["node-b"] != "http://10.0.0.2:8080" {
+		t.Errorf("node-b URL = %q", byID["node-b"])
+	}
+	for _, bad := range []string{"", "justanid", "=http://x", "a="} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}

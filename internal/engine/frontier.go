@@ -65,6 +65,13 @@ type FrontierOptions struct {
 	// around cache hits) — the HTTP service passes its solve semaphore
 	// here so streamed frontier requests compete fairly with /v1/eval.
 	Gate func(ctx context.Context) (release func(), err error)
+	// Eval, when set, replaces the engine's own fresh-evaluation path
+	// (incremental delta sessions included) for candidates the cache does
+	// not already hold — the cluster-wired service routes frontier
+	// evaluations across its peers through this seam. The substitute is
+	// expected to bound its own solver capacity, so Gate is not consulted
+	// around it.
+	Eval func(ctx context.Context, cfg core.Config) (*core.Result, error)
 }
 
 // FrontierRevision is one frontier update emitted by AdaptiveFrontier:
@@ -749,6 +756,14 @@ func (f *frontierFamily) doneNeighbours(i int) (lo, hi int) {
 // family's incremental patch session) and folds the outcome in.
 func (r *frontierRun) evalCandidate(ctx context.Context, c *frontierCandidate) error {
 	if res, ok := r.e.Cached(c.cfg); ok { // raced in since seeding: free
+		return r.record(c, res.MTTSF, res.Ctotal)
+	}
+	if r.opts.Eval != nil {
+		res, err := r.opts.Eval(ctx, c.cfg)
+		if err != nil {
+			return fmt.Errorf("engine: frontier (m=%d TIDS=%v detection=%v): %w", c.m, c.tids, c.det, err)
+		}
+		r.evals++
 		return r.record(c, res.MTTSF, res.Ctotal)
 	}
 	release := func() {}

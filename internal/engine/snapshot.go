@@ -36,16 +36,35 @@ type SnapshotEntry struct {
 // LRU pressure). It does not export prepared models — graphs are huge and
 // cheap to rebuild relative to their footprint — or touch the stats.
 func (e *Engine) SnapshotEntries() []SnapshotEntry {
+	return e.SnapshotEntriesMatching(nil)
+}
+
+// SnapshotEntriesMatching exports the cached Results whose fingerprint
+// satisfies keep (nil keeps everything), in the same per-shard recency
+// order as SnapshotEntries. The cluster re-sync path uses it to export one
+// peer's ring arc without copying the whole cache over the wire.
+func (e *Engine) SnapshotEntriesMatching(keep func(key string) bool) []SnapshotEntry {
 	var out []SnapshotEntry
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
 		sh.results.each(func(key string, value any) {
-			out = append(out, SnapshotEntry{Key: key, Result: value.(core.Result)})
+			if keep == nil || keep(key) {
+				out = append(out, SnapshotEntry{Key: key, Result: value.(core.Result)})
+			}
 		})
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// AdmitReplica admits one replicated cache entry — a peer's cache-fill or
+// a result fetched from a remote solve — through exactly the validated,
+// skip-existing gate RestoreEntries applies to snapshots, reporting whether
+// the entry was admitted. A non-finite Result is refused (and counted), so
+// a poisoned peer can never seed a healthy cache.
+func (e *Engine) AdmitReplica(key string, res core.Result) bool {
+	return e.RestoreEntries([]SnapshotEntry{{Key: key, Result: res}}) == 1
 }
 
 // RestoreEntries warm-loads previously exported entries into the result

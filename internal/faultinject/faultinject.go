@@ -70,6 +70,21 @@ const (
 	// HTTPLatency delays a request by HTTPLatencyMS milliseconds.
 	HTTPLatency   = "http.latency"
 	HTTPLatencyMS = "http.latency_ms"
+
+	// PeerDown makes a cluster peer call fail before it is sent, as a dead
+	// peer process (connection refused) would.
+	PeerDown = "peer.down"
+	// PeerLatency delays a peer call by PeerLatencyMS milliseconds,
+	// modeling a lagging peer or congested link.
+	PeerLatency   = "peer.latency"
+	PeerLatencyMS = "peer.latency_ms"
+	// PeerReset drops a peer call's response after the request was sent:
+	// the remote side did the work (and cached it), the caller sees a
+	// connection reset.
+	PeerReset = "peer.reset"
+	// PeerPartition makes a peer unreachable before the call is sent, as a
+	// network partition between the two nodes would.
+	PeerPartition = "peer.partition"
 )
 
 // EnvVar names the environment variable EnableFromEnv reads a plan from.
@@ -90,6 +105,11 @@ var knownKeys = map[string]bool{
 	HTTPReset:       true,
 	HTTPLatency:     true,
 	HTTPLatencyMS:   true,
+	PeerDown:        true,
+	PeerLatency:     true,
+	PeerLatencyMS:   true,
+	PeerReset:       true,
+	PeerPartition:   true,
 }
 
 // validateKnownSites rejects plans naming sites this build does not probe.

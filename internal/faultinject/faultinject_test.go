@@ -167,3 +167,31 @@ func TestEnableFromEnvRejectsUnknownSites(t *testing.T) {
 		t.Fatal("full known-site plan did not arm")
 	}
 }
+
+// TestEnableFromEnvClusterSites pins the cluster fault sites into the
+// validated vocabulary: every peer.* site this build probes arms cleanly,
+// and a near-miss typo is refused by name instead of silently never
+// firing during a chaos run.
+func TestEnableFromEnvClusterSites(t *testing.T) {
+	t.Cleanup(Disable)
+	t.Setenv(EnvVar, "seed=7,"+PeerDown+"=0.1,"+PeerPartition+"=0.1,"+
+		PeerReset+"=0.1,"+PeerLatency+"=0.1,"+PeerLatencyMS+"=5")
+	if armed, err := EnableFromEnv(); err != nil {
+		t.Fatalf("cluster-site plan rejected: %v", err)
+	} else if !armed {
+		t.Fatal("cluster-site plan did not arm")
+	}
+	Disable()
+
+	for _, typo := range []string{"peer.dwon", "peer.partiton", "peers.down", "peer.latencyms"} {
+		t.Setenv(EnvVar, "seed=7,"+typo+"=0.5")
+		if _, err := EnableFromEnv(); err == nil {
+			t.Errorf("typo'd cluster site %q armed", typo)
+		} else if !strings.Contains(err.Error(), typo) {
+			t.Errorf("error %v does not name the typo'd site %q", err, typo)
+		}
+		if Enabled() {
+			t.Fatalf("injection enabled despite rejected site %q", typo)
+		}
+	}
+}

@@ -124,6 +124,13 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 			}
 		},
 	}
+	if s.clusterNode != nil {
+		// Cluster-wired servers route each fresh frontier evaluation across
+		// the ring like a batch point (owner first, failover, degraded local
+		// solve); evalPoint self-gates on the solve semaphore for the local
+		// leg, so Gate goes unused.
+		opts.Eval = s.evalPoint
+	}
 
 	w.Header().Set("Content-Type", ndjsonType)
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,70 @@
+package service
+
+// Latency-derived Retry-After: the 429 (admission refused) and 503
+// (cancelled/watchdogged solve) paths tell the client when to come back.
+// A hard-coded "1" made every retrying client — and every peer deciding
+// whether to fail over — hammer an overloaded server once a second no
+// matter how far behind it was. Instead the hint is an estimate of the
+// current queue drain time: the EWMA of recent successful solve latencies
+// times the number of evaluations holding or waiting for the solve
+// semaphore, divided by the semaphore width.
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ewmaAlpha weights the newest observation; ~0.3 follows load shifts
+// within a few solves without letting one outlier swing the estimate.
+const ewmaAlpha = 0.3
+
+// latencyEWMA is a lock-free exponentially weighted moving average of
+// durations, stored as float64 seconds in an atomic word.
+type latencyEWMA struct {
+	bits atomic.Uint64
+}
+
+// observe folds one duration in (compare-and-swap loop; losing a race
+// retries against the newer average).
+func (l *latencyEWMA) observe(d time.Duration) {
+	sec := d.Seconds()
+	for {
+		old := l.bits.Load()
+		cur := math.Float64frombits(old)
+		next := sec
+		if old != 0 {
+			next = (1-ewmaAlpha)*cur + ewmaAlpha*sec
+		}
+		if l.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// seconds returns the current average (0 until the first observation).
+func (l *latencyEWMA) seconds() float64 {
+	return math.Float64frombits(l.bits.Load())
+}
+
+// retryAfterSecs renders the Retry-After hint: estimated seconds until the
+// solve backlog drains at the observed per-solve latency, at least 1
+// (Retry-After is whole seconds) and at most 60 (an estimate an order of
+// magnitude off must not park clients for minutes). Before any solve has
+// completed there is no signal and the hint stays at the old fixed 1s.
+func (s *Server) retryAfterSecs() string {
+	lat := s.solveLatency.seconds()
+	if lat <= 0 {
+		return "1"
+	}
+	pending := float64(s.pendingSolves.Load()) + 1 // +1: the retry itself
+	secs := int(math.Ceil(lat * pending / float64(cap(s.evalSem))))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,113 @@
+package service
+
+// Peer RPC surface: the four endpoints cluster nodes speak to each other,
+// registered only on cluster-wired servers. Peer solves bypass the
+// MaxInflight admission semaphore — the calling peer already holds an
+// admission slot for the client request that routed here, and double-
+// charging admission across nodes would let a three-node cluster reject
+// work a single node would have queued — but every actual evaluation still
+// acquires this node's solve semaphore inside evalPointLocal, so peer
+// traffic cannot multiply solver concurrency. Peer solves are strictly
+// local (no re-routing), which makes forwarding loops impossible: the
+// cluster's call graph is client → coordinator → one peer, never deeper.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/cluster"
+)
+
+// registerPeerHandlers mounts the peer RPC endpoints on the mux.
+func (s *Server) registerPeerHandlers() {
+	s.mux.HandleFunc("POST "+cluster.PeerSolvePath, s.handlePeerSolve)
+	s.mux.HandleFunc("POST "+cluster.PeerFillPath, s.handlePeerFill)
+	s.mux.HandleFunc("GET "+cluster.PeerEntriesPath, s.handlePeerEntries)
+	s.mux.HandleFunc("GET "+cluster.PeerPingPath, s.handlePeerPing)
+}
+
+// refuseDraining answers 503 on peer endpoints while shutting down, so
+// peers fail over immediately instead of racing the connection teardown.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		ErrorResponse{Error: "service: draining; route to another replica"})
+	return true
+}
+
+// handlePeerSolve evaluates one configuration strictly locally on behalf
+// of a routing peer: cache, in-flight join, or a fresh solve under this
+// node's solve semaphore and watchdog.
+func (s *Server) handlePeerSolve(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req cluster.SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Config.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.points.Add(1)
+	res, err := s.evalPointLocal(r.Context(), req.Config)
+	if err != nil {
+		s.evalError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.SolveResponse{Result: res})
+}
+
+// handlePeerFill admits replicated cache entries through the engine's
+// validated gate (non-finite entries are refused and counted, existing
+// keys are kept — a replica never clobbers a live local result).
+func (s *Server) handlePeerFill(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req cluster.FillRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	admitted := s.clusterNode.AdmitFill(req.From, req.Entries)
+	writeJSON(w, http.StatusOK, cluster.FillResponse{Admitted: admitted})
+}
+
+// handlePeerEntries exports the requesting node's ring arc — every locally
+// cached entry whose replica set includes ?node= — for rejoin re-sync.
+func (s *Server) handlePeerEntries(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	id := r.URL.Query().Get("node")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: "service: /v1/peer/entries needs a ?node= requester ID"})
+		return
+	}
+	found := false
+	for _, m := range s.clusterNode.Members() {
+		if m.ID == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("service: %q is not a cluster member", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.EntriesResponse{Entries: s.clusterNode.EntriesFor(id)})
+}
+
+// handlePeerPing answers heartbeat probes; draining counts as down so
+// peers stop routing here before the listener closes.
+func (s *Server) handlePeerPing(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.PingResponse{Node: s.clusterNode.SelfID()})
+}

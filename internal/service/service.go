@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
@@ -91,6 +92,14 @@ type Options struct {
 	// GET /v1/stats and /healthz (cmd/server wires the Checkpointer's
 	// Status method here).
 	CheckpointStatus func() persist.CheckpointStatus
+	// Cluster, when set, makes this server a member of an evaluation
+	// cluster: point evaluations route across the cluster's consistent-hash
+	// ring (with failover and replicated cache-fill), the peer RPC surface
+	// (/v1/peer/solve, /v1/peer/fill, /v1/peer/entries, /v1/peer/ping) is
+	// registered, /v1/stats grows a cluster block, and /healthz reports
+	// "degraded" while any peer is believed down. Nil is a plain
+	// single-node server.
+	Cluster *cluster.Node
 }
 
 // Stats counts the service-level request traffic (the engine keeps its own
@@ -130,12 +139,19 @@ type Server struct {
 	maxFrontier  int
 	solveTimeout time.Duration
 	ckptStatus   func() persist.CheckpointStatus
+	clusterNode  *cluster.Node
 	mux          *http.ServeMux
 	started      time.Time
 
 	requests, points, rejected        atomic.Uint64
 	panicsRecovered, watchdogTimeouts atomic.Uint64
 	draining                          atomic.Bool
+
+	// Load signals behind the latency-derived Retry-After: the EWMA of
+	// recent successful solve latencies and the number of evaluations
+	// currently holding or queued for the solve semaphore.
+	solveLatency  latencyEWMA
+	pendingSolves atomic.Int64
 
 	// Degraded-state tracking for /healthz: each probe compares the
 	// resilience counters to the previous probe's and stamps an incident
@@ -175,6 +191,7 @@ func New(opts Options) *Server {
 		maxFrontier:  opts.MaxFrontierEvals,
 		solveTimeout: opts.SolveTimeout,
 		ckptStatus:   opts.CheckpointStatus,
+		clusterNode:  opts.Cluster,
 		mux:          http.NewServeMux(),
 		started:      time.Now(),
 	}
@@ -189,6 +206,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.clusterNode != nil {
+		s.registerPeerHandlers()
+	}
 	return s
 }
 
@@ -286,6 +306,13 @@ type StatsResponse struct {
 	// Checkpoint reports the snapshot loop's health when the daemon runs
 	// one (absent under go test's in-process servers without persistence).
 	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+	// Cluster reports routing counters and peer liveness on cluster-wired
+	// servers (absent on single-node deployments).
+	Cluster *cluster.Status `json:"cluster,omitempty"`
+	// Faults reports per-site fired counts while fault injection is armed
+	// (absent otherwise), so a chaos run can verify which sites — the
+	// peer.* cluster sites included — actually fired.
+	Faults map[string]uint64 `json:"faults,omitempty"`
 }
 
 // CheckpointStats is the wire form of persist.CheckpointStatus.
@@ -312,6 +339,11 @@ type HealthResponse struct {
 	WatchdogTimeouts uint64  `json:"watchdog_timeouts"`
 	CheckpointAgeSec float64 `json:"checkpoint_age_sec,omitempty"`
 	CheckpointError  string  `json:"checkpoint_error,omitempty"`
+	// ClusterPeersDown counts peers this node does not currently believe
+	// alive (cluster deployments only). Any nonzero value reports
+	// "degraded"; it returns to zero — and the status to "ok" — the moment
+	// the last missing peer heartbeats again.
+	ClusterPeersDown int `json:"cluster_peers_down,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -336,7 +368,7 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 		return true
 	default:
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 		writeJSON(w, http.StatusTooManyRequests,
 			ErrorResponse{Error: fmt.Sprintf("service: %d requests already in flight; retry later", cap(s.sem))})
 		return false
@@ -345,16 +377,40 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 
 func (s *Server) release() { <-s.sem }
 
-// evalPoint runs one point evaluation under the server-wide solve
-// semaphore: across every admitted request at most WorkerBound
-// evaluations execute concurrently, the rest queue here (and leave the
-// queue immediately when their request is abandoned). Cache hits are
-// served before the semaphore, so a warm batch answers in microseconds
-// even while every solve slot is held by someone's long cold sweep.
+// evalPoint runs one point evaluation: cache hits are served immediately
+// (so a warm batch answers in microseconds even while every solve slot is
+// held by someone's long cold sweep); misses either solve locally or, on a
+// cluster-wired server, route across the ring with failover. Routing runs
+// entirely outside the local solve semaphore — only the local-solve leg
+// acquires it — so two nodes cross-routing each other's keys cannot
+// deadlock even at WorkerBound 1.
 func (s *Server) evalPoint(ctx context.Context, cfg core.Config) (*core.Result, error) {
 	if res, ok := s.backend.Cached(cfg); ok {
 		return res, nil
 	}
+	if s.clusterNode != nil {
+		return s.clusterNode.Route(ctx, cfg, func(c context.Context) (*core.Result, error) {
+			return s.solveWatched(c, cfg)
+		})
+	}
+	return s.solveWatched(ctx, cfg)
+}
+
+// evalPointLocal is evalPoint without cluster routing: the strictly-local
+// path behind /v1/peer/solve, where the routing decision was already made
+// by the calling peer (re-routing here could forward forever).
+func (s *Server) evalPointLocal(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	if res, ok := s.backend.Cached(cfg); ok {
+		return res, nil
+	}
+	return s.solveWatched(ctx, cfg)
+}
+
+// solveWatched runs one local evaluation under the watchdog and the
+// server-wide solve semaphore: across every admitted request at most
+// WorkerBound evaluations execute concurrently, the rest queue (and leave
+// the queue immediately when their request is abandoned).
+func (s *Server) solveWatched(ctx context.Context, cfg core.Config) (*core.Result, error) {
 	// The watchdog bounds how long this request waits for the point:
 	// when it fires, the response is a 503 and the engine's evaluation
 	// keeps running in the background — the result lands in the cache, so
@@ -385,13 +441,20 @@ func (s *Server) evalPointInner(ctx context.Context, cfg core.Config) (*core.Res
 	if res, inflight, err := s.backend.JoinInflight(ctx, cfg); inflight {
 		return res, err
 	}
+	s.pendingSolves.Add(1)
+	defer s.pendingSolves.Add(-1)
 	select {
 	case s.evalSem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.evalSem }()
-	return s.backend.EvalContext(ctx, cfg)
+	start := time.Now()
+	res, err := s.backend.EvalContext(ctx, cfg)
+	if err == nil {
+		s.solveLatency.observe(time.Since(start))
+	}
+	return res, err
 }
 
 // decodeBody decodes a size-capped JSON request body into v, answering
@@ -429,7 +492,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.points.Add(1)
 	res, err := s.evalPoint(r.Context(), req.Config)
 	if err != nil {
-		evalError(w, r, err)
+		s.evalError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EvalResponse{Result: res})
@@ -484,7 +547,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	if err := ctx.Err(); err != nil {
 		// Client is gone; nothing useful to write.
-		evalError(w, r, err)
+		s.evalError(w, r, err)
 		return
 	}
 	resp := BatchResponse{Results: results}
@@ -500,7 +563,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Engine: s.backend.Stats(), Service: s.Stats()}
+	resp := StatsResponse{Engine: s.backend.Stats(), Service: s.Stats(), Faults: faultinject.FiredCounts()}
+	if s.clusterNode != nil {
+		st := s.clusterNode.Status()
+		resp.Cluster = &st
+	}
 	if s.ckptStatus != nil {
 		st := s.ckptStatus()
 		ck := &CheckpointStats{
@@ -555,6 +622,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			degraded = true
 		}
 	}
+	if s.clusterNode != nil {
+		for _, p := range s.clusterNode.Status().Peers {
+			if p.State != cluster.PeerAlive {
+				resp.ClusterPeersDown++
+			}
+		}
+		if resp.ClusterPeersDown > 0 {
+			degraded = true
+		}
+	}
 	if degraded {
 		resp.Status = "degraded"
 	}
@@ -574,12 +651,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // misconfiguration that would fail every request identically (a typo'd
 // REPRO_SOLVER) is ruled out at daemon boot by ctmc.ValidateDefaultSolver,
 // so it cannot masquerade as client error here.
-func evalError(w http.ResponseWriter, r *http.Request, err error) {
+func (s *Server) evalError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusUnprocessableEntity
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 	case errors.Is(err, engine.ErrEvalPanic) || errors.Is(err, engine.ErrNonFinite):
 		// Server-side internal failure, not a property of the submitted
 		// configuration: 500 so retrying clients try again instead of

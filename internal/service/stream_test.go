@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Adversarial-reader coverage for the two NDJSON endpoints: clients that
+// hang up mid-line and clients that drain the stream one byte at a time.
+// The server contract under both is the same — never a torn line on the
+// wire, never a leaked admission slot, never a wedged eval loop.
+
+// rawStreamServer boots a service with MaxInflight 1 so that a single
+// leaked admission slot turns every follow-up request into a 429 — the
+// sharpest observable signal that a disconnected stream failed to clean
+// up after itself.
+func rawStreamServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	eng := engine.New(engine.Options{})
+	ts := httptest.NewServer(New(Options{Backend: eng, MaxInflight: 1}))
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL, ts.Client())
+}
+
+// startNDJSON POSTs body to path asking for a streamed response and
+// returns the live response. The caller owns resp.Body.
+func startNDJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ndjsonType)
+	resp, err := ts.Client().Transport.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("starting %s stream: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		t.Fatalf("%s: HTTP %d: %s", path, resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ndjsonType {
+		t.Fatalf("%s Content-Type = %q, want %q", path, ct, ndjsonType)
+	}
+	return resp
+}
+
+// readMidLine consumes a handful of bytes — deliberately fewer than one
+// NDJSON line — so the subsequent Close tears the connection down with a
+// line half-delivered.
+func readMidLine(t *testing.T, body io.Reader) {
+	t.Helper()
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(body, buf); err != nil {
+		t.Fatalf("reading stream prefix: %v", err)
+	}
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		t.Fatalf("first 16 bytes already contain a full line: %q", buf)
+	}
+}
+
+// assertServerRecovers proves the admission slot came back: with
+// MaxInflight 1, a leaked slot would make this follow-up 429 forever.
+func assertServerRecovers(t *testing.T, client *Client) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := client.Analyze(context.Background(), testConfig())
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover after client disconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamBatchMidLineDisconnect kills the connection with the first
+// result line half-read. The server must notice the dead client, stop
+// streaming, finish (or cancel) the in-flight evals, and release the
+// admission slot for the next caller.
+func TestStreamBatchMidLineDisconnect(t *testing.T) {
+	ts, client := rawStreamServer(t)
+	resp := startNDJSON(t, ts, "/v1/batch", BatchRequest{Configs: testGridConfigs()})
+	readMidLine(t, resp.Body)
+	resp.Body.Close() // hang up mid-line
+
+	assertServerRecovers(t, client)
+}
+
+// TestStreamFrontierMidLineDisconnect is the same adversary against the
+// frontier loop: hang up with a revision line torn, then require the
+// active-learning loop to unwind and the slot to free.
+func TestStreamFrontierMidLineDisconnect(t *testing.T) {
+	ts, client := rawStreamServer(t)
+	resp := startNDJSON(t, ts, "/v1/frontier", FrontierRequest{Config: testConfig()})
+	readMidLine(t, resp.Body)
+	resp.Body.Close()
+
+	assertServerRecovers(t, client)
+}
+
+// trickleReader drains r one byte at a time, pausing periodically, so the
+// server experiences a consumer far slower than its producer. It returns
+// everything read.
+func trickleReader(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			out.Write(buf[:n])
+			if out.Len()%256 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if err == io.EOF {
+			return out.Bytes()
+		}
+		if err != nil {
+			t.Fatalf("slow read failed after %d bytes: %v", out.Len(), err)
+		}
+	}
+}
+
+// TestStreamBatchSlowReaderBackpressure drains a streamed batch one byte
+// at a time. Backpressure must never corrupt framing: the bytes that
+// eventually arrive are exactly n well-formed lines, in index order, each
+// byte-equal to the buffered endpoint's result for the same point.
+func TestStreamBatchSlowReaderBackpressure(t *testing.T) {
+	ts, client := rawStreamServer(t)
+	cfgs := testGridConfigs()
+	want, err := client.EvalBatch(context.Background(), cfgs) // buffered reference
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := startNDJSON(t, ts, "/v1/batch", BatchRequest{Configs: cfgs})
+	raw := trickleReader(t, resp.Body)
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != len(cfgs) {
+		t.Fatalf("slow-read stream delivered %d lines for %d points:\n%s", len(lines), len(cfgs), raw)
+	}
+	for i, ln := range lines {
+		var line BatchStreamLine
+		if err := json.Unmarshal([]byte(ln), &line); err != nil {
+			t.Fatalf("line %d is not valid JSON under backpressure: %v\n%s", i, err, ln)
+		}
+		if line.Index != i {
+			t.Errorf("line %d carries index %d; stream out of order", i, line.Index)
+		}
+		if line.Error != "" {
+			t.Errorf("line %d failed: %s", i, line.Error)
+			continue
+		}
+		wantJSON, _ := json.Marshal(want[i])
+		gotJSON, _ := json.Marshal(line.Result)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("line %d differs from buffered result:\n stream %s\n buffer %s", i, gotJSON, wantJSON)
+		}
+	}
+
+	assertServerRecovers(t, client)
+}
+
+// TestStreamFrontierSlowReader trickle-reads an entire frontier stream and
+// requires every line to decode as a FrontierLine with the terminal
+// revision intact at the end — a slow consumer gets the same stream a
+// fast one does, just later.
+func TestStreamFrontierSlowReader(t *testing.T) {
+	ts, client := rawStreamServer(t)
+	resp := startNDJSON(t, ts, "/v1/frontier", FrontierRequest{Config: testConfig()})
+	raw := trickleReader(t, bufio.NewReaderSize(resp.Body, 1)) // defeat any client-side buffering
+	resp.Body.Close()
+
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var last *FrontierLine
+	n := 0
+	for sc.Scan() {
+		var line FrontierLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("revision line %d is not valid JSON under backpressure: %v\n%s", n, err, sc.Bytes())
+		}
+		if line.Error != "" {
+			t.Fatalf("frontier stream failed mid-flight: %s", line.Error)
+		}
+		last = &line
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("slow-read frontier stream delivered no revisions")
+	}
+	if last == nil || !last.Done {
+		t.Fatalf("slow-read frontier stream truncated before its terminal revision (%d lines)", n)
+	}
+	if len(last.Frontier) == 0 {
+		t.Error("terminal revision carries an empty frontier")
+	}
+
+	assertServerRecovers(t, client)
+}
