@@ -45,6 +45,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/spn"
 )
@@ -141,7 +142,12 @@ func main() {
 	gate := flag.Float64("gate", 0, "fail when a workload is slower than baseline by more than this factor (0 disables)")
 	allow := flag.String("allow", "", "comma-separated workload names exempt from the -gate check")
 	trajectory := flag.Bool("trajectory", false, "aggregate all committed BENCH_*.json into one speedup-over-baseline table and exit")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("bench"))
+		return
+	}
 
 	if *trajectory {
 		if err := printTrajectory(); err != nil {
@@ -188,6 +194,7 @@ func main() {
 	f.Workloads = append(f.Workloads, frontierAdaptiveWorkload(12))
 	f.Workloads = append(f.Workloads, backendMatrixWorkloads(sweepN)...)
 	f.Workloads = append(f.Workloads, largeNWorkloads(largeNSide(*preset))...)
+	f.Workloads = append(f.Workloads, metricsOverheadWorkload(30)...)
 	f.Workloads = append(f.Workloads, serveBatchWorkload(30))
 	f.Workloads = append(f.Workloads, serveBatchFaultyWorkload(30))
 	f.Workloads = append(f.Workloads, clusterBatchWorkload(30))
@@ -697,6 +704,48 @@ func frontierAdaptiveWorkload(n int) Result {
 	r.EvalsPerOp = evals
 	r.GridPoints = space.Size()
 	return r
+}
+
+// metricsOverheadWorkload pins the price of armed telemetry on the solve
+// hot path. It times the identical sojourn solve twice — instrumentation
+// armed (the production default) and disarmed — and fails the run outright
+// when arming changes the allocation count: the stage-span and
+// latency-histogram path must stay allocation-free, so observing a solve
+// never perturbs the solve it observes. Both results are recorded, so the
+// perf trajectory tracks the armed overhead itself, not just its existence.
+func metricsOverheadWorkload(n int) []Result {
+	// The raw instruments must be allocation-free outright, independent of
+	// what the solve around them does.
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_scratch_total", "scratch counter for the alloc pin")
+	hist := reg.Histogram("bench_scratch_seconds", "scratch histogram for the alloc pin", obs.LatencyBuckets)
+	if a := testing.AllocsPerRun(1000, func() { ctr.Inc(); hist.Observe(0.003) }); a != 0 {
+		fatal(fmt.Errorf("metrics_overhead: one counter+histogram record costs %v allocs, want 0", a))
+	}
+
+	_, g := mustPrepare(n)
+	run := func(name string, armed bool) Result {
+		obs.SetArmed(armed)
+		chain := ctmc.FromGraph(g)
+		r := measureSolves(name, n, func() {
+			if _, err := chain.Solve(g.Initial); err != nil {
+				fatal(err)
+			}
+		})
+		r.States = g.NumStates()
+		return r
+	}
+	rOff := run("metrics_overhead_off", false)
+	rOn := run("metrics_overhead", true)
+	obs.SetArmed(true)
+	if rOn.AllocsPerOp != rOff.AllocsPerOp {
+		fatal(fmt.Errorf("metrics_overhead: armed solve costs %d allocs/op vs %d disarmed — instrumentation must not allocate",
+			rOn.AllocsPerOp, rOff.AllocsPerOp))
+	}
+	overhead := float64(rOn.NsPerOp-rOff.NsPerOp) / float64(rOff.NsPerOp) * 100
+	fmt.Printf("%-20s armed instrumentation adds %+.2f%% ns/op, %d allocs/op (solve kernel)\n",
+		"metrics_overhead", overhead, rOn.AllocsPerOp-rOff.AllocsPerOp)
+	return []Result{rOn, rOff}
 }
 
 // serveBatchWorkload measures the evaluation service's HTTP serving path:

@@ -17,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,12 @@ func main() {
 	checkFlag := flag.Bool("check", false, "validate figure shapes against the paper's claims")
 	baselinesFlag := flag.Bool("baselines", false, "also print the no-IDS / host-only / voting comparison")
 	statsFlag := flag.Bool("enginestats", false, "print evaluation-engine cache statistics on exit")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("figures"))
+		return
+	}
 	if *statsFlag {
 		cli.EnableEngineStats()
 	}

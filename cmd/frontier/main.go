@@ -20,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,7 +30,12 @@ func main() {
 	server := flag.String("server", "", "evalserver base URL (empty = run the loop in-process)")
 	quiet := flag.Bool("quiet", false, "suppress per-revision lines, print only the final frontier")
 	statsFlag := flag.Bool("enginestats", false, "print evaluation-engine cache statistics on exit")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("frontier"))
+		return
+	}
 	if *statsFlag {
 		cli.EnableEngineStats()
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/gdh"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,12 @@ func main() {
 	hops := flag.Float64("hops", 2.2, "mean hop count")
 	bw := flag.Float64("bw", 1e6, "wireless bandwidth (bits/s)")
 	verify := flag.Bool("verify", false, "run the real protocol and verify key agreement")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("gdhcost"))
+		return
+	}
 
 	fmt.Printf("GDH.2 rekeying cost for n = %d (elements of %d bits):\n", *n, *bits)
 	fmt.Printf("  messages:  %d (n-1 upflow + 1 broadcast)\n", gdh.NumMessages(*n))

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,12 @@ func main() {
 	hours := flag.Float64("hours", 4, "simulated duration (hours)")
 	dt := flag.Float64("dt", 5, "snapshot interval (s)")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("mobility"))
+		return
+	}
 
 	gd, err := repro.CalibrateMobility(repro.CalibrateOpts{
 		Nodes:      *nodes,

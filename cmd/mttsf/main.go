@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 )
 
@@ -31,7 +32,12 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep the paper's TIDS grid instead of a single point")
 	trace := flag.Bool("trace", false, "print expected sojourn time by membership level")
 	counts := flag.Bool("counts", false, "print expected per-mission event counts")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("mttsf"))
+		return
+	}
 
 	cfg := repro.DefaultConfig()
 	cfg.N = *n

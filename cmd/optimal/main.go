@@ -21,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 )
 
@@ -32,7 +33,12 @@ func main() {
 	pareto := flag.Bool("pareto", false, "print the Pareto frontier over (m, TIDS, detection)")
 	grad := flag.Bool("grad", false, "gradient-guided continuous TIDS search via forward sensitivities")
 	statsFlag := flag.Bool("enginestats", false, "print evaluation-engine cache statistics on exit")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("optimal"))
+		return
+	}
 	if *statsFlag {
 		cli.EnableEngineStats()
 	}

@@ -8,7 +8,8 @@
 //	       [-inflight n] [-max-batch n] [-workers n]
 //	       [-cache-size n] [-prepared-mb mb] [-solve-timeout d]
 //	       [-node-id id -peers id=url,...] [-replication r]
-//	       [-heartbeat interval]
+//	       [-heartbeat interval] [-debug-addr host:port]
+//	       [-log-level level] [-version]
 //
 // With -peers and -node-id set, the daemon joins a fault-tolerant
 // evaluation cluster: -peers lists every member (this node included) as
@@ -30,6 +31,15 @@
 // flips /healthz to 503 (draining) before the listener stops accepting, so
 // load balancers stop routing new traffic while in-flight requests finish.
 //
+// Telemetry: GET /metrics on the main listener serves the Prometheus text
+// exposition of every engine, solver, service, cluster, checkpoint, and
+// fault-injection series. -debug-addr binds a second, operator-only
+// listener serving net/http/pprof under /debug/pprof/ and adds Go runtime
+// series (goroutines, heap, GC pauses) to /metrics. Logs are structured
+// (log/slog) key=value lines carrying component, node-id, and — on request
+// lines — the request's trace id; -log-level debug enables per-request
+// lines.
+//
 // The REPRO_FAULTS environment variable arms the deterministic
 // fault-injection seam for chaos testing (e.g.
 // REPRO_FAULTS="seed=42,http.err5xx=0.05"); it is parsed at boot and the
@@ -40,8 +50,10 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,9 +63,25 @@ import (
 	"repro/internal/ctmc"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/service"
 )
+
+// parseLogLevel maps the -log-level flag to a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -69,21 +97,48 @@ func main() {
 	peers := flag.String("peers", "", "full cluster topology as id=url,id=url,... including this node (empty = single-node)")
 	replication := flag.Int("replication", 2, "cache-entry replicas per key across the ring (clamped to the member count)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster peer heartbeat interval")
+	debugAddr := flag.String("debug-addr", "", "operator-only listener for net/http/pprof and runtime metrics (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error (debug adds per-request lines)")
+	version := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
-	log.SetPrefix("server: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	if *version {
+		fmt.Println(obs.VersionString("server"))
+		return
+	}
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "server:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})).
+		With("component", "server")
+	if *nodeID != "" {
+		logger = logger.With("node_id", *nodeID)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	// persist and cluster speak printf-style Logf; bridge into slog so every
+	// line shares the handler (and stays grep-compatible as a msg substring).
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
 
 	// A typo'd REPRO_SOLVER must kill the daemon at boot, not surface as a
 	// per-request evaluation error that reads like a client mistake.
 	if err := ctmc.ValidateDefaultSolver(); err != nil {
-		log.Fatalf("refusing to start: %v", err)
+		fatal("refusing to start", "error", err)
 	}
 	// Same contract for REPRO_FAULTS: arm it loudly or die loudly.
 	if armed, err := faultinject.EnableFromEnv(); err != nil {
-		log.Fatalf("refusing to start: %v", err)
+		fatal("refusing to start", "error", err)
 	} else if armed {
-		log.Printf("FAULT INJECTION ARMED: %s=%q", faultinject.EnvVar, os.Getenv(faultinject.EnvVar))
+		logf("FAULT INJECTION ARMED: %s=%q", faultinject.EnvVar, os.Getenv(faultinject.EnvVar))
 	}
+
+	logger.Info("starting", "build", obs.VersionString("server"))
 
 	eng := engine.New(engine.Options{
 		CacheSize:          *cacheSize,
@@ -93,25 +148,25 @@ func main() {
 
 	var ckpt *persist.Checkpointer
 	if *snapshot != "" {
-		n, gen, err := persist.WarmStartAuto(eng, *snapshot, log.Printf)
+		n, gen, err := persist.WarmStartAuto(eng, *snapshot, logf)
 		switch {
 		case err != nil:
-			log.Printf("no usable snapshot generation, booting cold: %v", err)
+			logf("no usable snapshot generation, booting cold: %v", err)
 		case n > 0:
-			log.Printf("warm start: %d cached results restored from %s generation of %s", n, gen, *snapshot)
+			logf("warm start: %d cached results restored from %s generation of %s", n, gen, *snapshot)
 		default:
-			log.Printf("cold start: no snapshot at %s yet", *snapshot)
+			logf("cold start: no snapshot at %s yet", *snapshot)
 		}
 		ckpt = persist.NewCheckpointer(eng, *snapshot, *checkpoint)
-		ckpt.Logf = log.Printf
-		ckpt.Start(func(err error) { log.Printf("checkpoint failed: %v", err) })
+		ckpt.Logf = logf
+		ckpt.Start(func(err error) { logger.Warn("checkpoint failed", "error", err) })
 	}
 
 	var node *cluster.Node
 	if *peers != "" || *nodeID != "" {
 		members, err := cluster.ParseMembers(*peers)
 		if err != nil {
-			log.Fatalf("refusing to start: %v", err)
+			fatal("refusing to start", "error", err)
 		}
 		node, err = cluster.NewNode(cluster.Options{
 			SelfID:            *nodeID,
@@ -119,12 +174,12 @@ func main() {
 			Replication:       *replication,
 			HeartbeatInterval: *heartbeat,
 			Engine:            eng,
-			Logf:              log.Printf,
+			Logf:              logf,
 		})
 		if err != nil {
-			log.Fatalf("refusing to start: %v", err)
+			fatal("refusing to start", "error", err)
 		}
-		log.Printf("cluster: node %q in %d-member ring, replication %d",
+		logf("cluster: node %q in %d-member ring, replication %d",
 			node.SelfID(), len(node.Members()), node.Replication())
 	}
 
@@ -134,6 +189,7 @@ func main() {
 		MaxBatchPoints: *maxBatch,
 		SolveTimeout:   *solveTimeout,
 		Cluster:        node,
+		Logger:         logger,
 		CheckpointStatus: func() persist.CheckpointStatus {
 			if ckpt == nil {
 				return persist.CheckpointStatus{}
@@ -141,6 +197,28 @@ func main() {
 			return ckpt.Status()
 		},
 	})
+
+	if *debugAddr != "" {
+		// The debug listener binds separately from the service so pprof and
+		// runtime internals never ship on the public address. Runtime series
+		// also register into the service registry: once an operator opts
+		// into the debug surface, /metrics carries goroutine/heap/GC gauges.
+		obs.RegisterRuntimeMetrics(svc.Metrics())
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", svc)
+		go func() {
+			logger.Info("debug listener up", "debug_addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc,
@@ -158,34 +236,34 @@ func main() {
 		// once the listener is up, so peers probing back find us alive.
 		node.Start()
 	}
-	log.Printf("listening on %s (snapshot=%q)", *addr, *snapshot)
+	logf("listening on %s (snapshot=%q)", *addr, *snapshot)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		fatal("serve failed", "error", err)
 	case <-ctx.Done():
 	}
 	// Draining first: /healthz flips to 503 so orchestrators stop routing
 	// here, then the listener shuts down gracefully under a deadline.
 	svc.SetDraining(true)
-	log.Printf("shutting down (draining)")
+	logf("shutting down (draining)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	if node != nil {
 		node.Stop()
 	}
 	if ckpt != nil {
 		if err := ckpt.Stop(); err != nil {
-			log.Printf("final checkpoint failed: %v", err)
+			logger.Error("final checkpoint failed", "error", err)
 		} else {
-			log.Printf("final checkpoint written to %s", *snapshot)
+			logf("final checkpoint written to %s", *snapshot)
 		}
 	}
 	st := eng.Stats()
-	log.Printf("served %s", st.String())
-	log.Printf("incremental: %d patched solves, %d refactorizations, %d structural re-prepares",
+	logf("served %s", st.String())
+	logf("incremental: %d patched solves, %d refactorizations, %d structural re-prepares",
 		st.PatchedSolves, st.Refactorizations, st.StructuralRepreps)
 }

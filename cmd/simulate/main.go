@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 )
 
@@ -26,7 +27,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	horizon := flag.Float64("horizon", 1e9, "per-mission simulation horizon (s)")
 	compare := flag.Bool("compare", true, "also solve the analytical model and compare")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("simulate"))
+		return
+	}
 
 	cfg := repro.DefaultConfig()
 	cfg.N = *n

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,7 +28,12 @@ func main() {
 	mission := flag.Float64("mission", 48, "mission length (hours)")
 	assure := flag.Bool("assure", false, "search the TIDS grid for the assurance-optimal interval")
 	sensitivity := flag.Bool("sensitivity", false, "print MTTSF elasticities of the model parameters")
+	versionFlag := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(obs.VersionString("survival"))
+		return
+	}
 
 	cfg := repro.DefaultConfig()
 	cfg.N = *n

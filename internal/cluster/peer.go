@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // Peer RPC paths (registered by internal/service when a cluster is wired).
@@ -128,6 +129,11 @@ func (pc *PeerClient) do(ctx context.Context, method, base, path string, body, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// The coordinator's trace id rides every peer hop, so one id follows a
+	// request coordinator -> owner -> replica through each node's logs.
+	if tid := obs.TraceID(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := pc.http.Do(req)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/gdh"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 	"repro/internal/spn"
 	"repro/internal/voting"
@@ -331,6 +332,8 @@ func (m *Model) rekeyTime(mk spn.Marking) float64 {
 // replica of the net (identical structure and rates, private memos); the
 // resulting graph is byte-identical to the sequential one.
 func (m *Model) Explore() (*spn.Graph, error) {
+	sp := obs.StartStage(obs.StageExplore)
+	defer sp.End()
 	cfg := m.Config
 	hint := cfg.MaxGroups * (cfg.N*cfg.N/3 + 4*cfg.N)
 	if cfg.ExplicitEviction {

@@ -1,0 +1,12 @@
+package core
+
+import "repro/internal/obs"
+
+// The incremental path's structural-fallback counter is process-global
+// (like the ctmc solver counters), so it registers into the obs Default
+// registry at init and is read at scrape time.
+func init() {
+	obs.Default().CounterFunc("repro_incremental_structural_repreps_total",
+		"Incremental-path points that fell back to a full explore+assemble+factor re-prepare.",
+		func() float64 { return float64(StructuralRepreps()) })
+}

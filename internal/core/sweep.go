@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ctmc"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 )
 
@@ -31,6 +32,8 @@ func SweepTIDS(cfg Config, grid []float64, opts ...SweepOption) ([]SweepPoint, e
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("core: empty TIDS grid")
 	}
+	sp := obs.StartStage(obs.StageSweep)
+	defer sp.End()
 	o := applySweepOptions(opts)
 	if o.WarmStart || o.Incremental {
 		if pe, ok := DefaultEvaluator().(PreparedEvaluator); ok {

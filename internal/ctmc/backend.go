@@ -48,6 +48,11 @@ type SolveContext struct {
 	// re-solve path's refactorization budget is keyed on. Written without
 	// synchronization; a SolveContext describes one solve on one goroutine.
 	Iters *uint64
+
+	// itersLocal backs Iters when solveVia instruments a solve itself:
+	// embedding the sink in the context (already one heap allocation)
+	// keeps the armed instrumentation path allocation-free.
+	itersLocal uint64
 }
 
 // countIters accounts n iterations to the global and per-backend counters

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/spn"
 )
 
@@ -84,6 +86,8 @@ func (c *Chain) iluForSub() (*linalg.ILU0, error) {
 // directly in CSR form (linalg.NewCSRFromRows) without the coordinate sort
 // a SparseBuilder would pay.
 func FromGraph(g *spn.Graph) *Chain {
+	sp := obs.StartStage(obs.StageAssemble)
+	defer sp.End()
 	n := g.NumStates()
 	absorbing := make([]bool, n)
 	entries := make([]linalg.Coord, 0, g.NumEdges()+n)
@@ -229,7 +233,18 @@ const (
 func (c *Chain) solveVia(a *linalg.CSR, rhs, x0 linalg.Vector, ilu func() (*linalg.ILU0, error)) (linalg.Vector, error) {
 	solveCount.Add(1)
 	b := resolveBackend(c.Solver(), a)
-	return solveDegrading(b, &SolveContext{A: a, B: rhs, X0: x0, ILU: ilu})
+	sctx := &SolveContext{A: a, B: rhs, X0: x0, ILU: ilu}
+	if !obs.Armed() {
+		return solveDegrading(b, sctx)
+	}
+	// Armed: time the solve and capture its iteration count. The sink
+	// lives inside the already-heap-allocated context, so arming adds
+	// clock reads and atomic stores but no allocation.
+	sctx.Iters = &sctx.itersLocal
+	start := time.Now()
+	x, err := solveDegrading(b, sctx)
+	observeSolve(b.Name(), time.Since(start).Seconds(), sctx.itersLocal)
+	return x, err
 }
 
 // cascade is the counter-free solver body (SOR -> BiCGSTAB -> dense LU);

@@ -30,11 +30,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 func init() { core.SetDefaultEvaluator(Default()) }
@@ -132,12 +132,18 @@ type Engine struct {
 	pmu      sync.Mutex
 	prepared *lruCache // fingerprint -> *core.Prepared, byte-budgeted
 
-	hits, misses, evals atomic.Uint64
+	// Counters live in the engine's own metric registry (reg) so each
+	// Engine instance owns its series — tests build many engines per
+	// process without name collisions — while GET /metrics concatenates
+	// the serving engine's registry into the scrape. The handles are
+	// plain atomics underneath; counting paths cost what they always did.
+	reg                 *obs.Registry
+	hits, misses, evals *obs.Counter
 
 	// panicsRecovered counts evaluations that panicked and were converted
 	// to errors; nonFiniteRejected counts finished Results the cache-
 	// admission validation refused (NaN/Inf anywhere in the value).
-	panicsRecovered, nonFiniteRejected atomic.Uint64
+	panicsRecovered, nonFiniteRejected *obs.Counter
 }
 
 // resultShard is one stripe of the Result cache.
@@ -192,8 +198,61 @@ func New(opts Options) *Engine {
 	for i := range e.shards {
 		e.shards[i] = resultShard{results: newLRU(per), inflight: make(map[string]*inflightCall)}
 	}
+	e.reg = obs.NewRegistry()
+	e.hits = e.reg.Counter("repro_engine_cache_hits_total",
+		"Result-cache hits, including joins on in-flight evaluations.")
+	e.misses = e.reg.Counter("repro_engine_cache_misses_total",
+		"Result-cache misses that started an evaluation.")
+	e.evals = e.reg.Counter("repro_engine_evals_total",
+		"Full explore+assemble+solve evaluations performed.")
+	e.panicsRecovered = e.reg.Counter("repro_engine_panics_recovered_total",
+		"Evaluations that panicked and were converted to errors.")
+	e.nonFiniteRejected = e.reg.Counter("repro_engine_nonfinite_rejected_total",
+		"Finished results refused by cache-admission validation (NaN/Inf).")
+	e.reg.GaugeFunc("repro_engine_cache_entries",
+		"Result-cache entries currently held across all shards.",
+		func() float64 {
+			n := 0
+			for i := range e.shards {
+				sh := &e.shards[i]
+				sh.mu.Lock()
+				n += sh.results.len()
+				sh.mu.Unlock()
+			}
+			return float64(n)
+		})
+	e.reg.CounterFunc("repro_engine_cache_evictions_total",
+		"Result-cache LRU evictions across all shards.",
+		func() float64 {
+			var n uint64
+			for i := range e.shards {
+				sh := &e.shards[i]
+				sh.mu.Lock()
+				n += sh.results.evictions
+				sh.mu.Unlock()
+			}
+			return float64(n)
+		})
+	e.reg.GaugeFunc("repro_engine_prepared_entries",
+		"Prepared-model cache entries currently held.",
+		func() float64 {
+			e.pmu.Lock()
+			defer e.pmu.Unlock()
+			return float64(e.prepared.len())
+		})
+	e.reg.GaugeFunc("repro_engine_prepared_bytes",
+		"Estimated bytes held by the prepared-model cache.",
+		func() float64 {
+			e.pmu.Lock()
+			defer e.pmu.Unlock()
+			return float64(e.prepared.sizeBytes())
+		})
 	return e
 }
+
+// Metrics returns the engine's metric registry, for the serving layer's
+// /metrics exposition.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // shardFor hashes a fingerprint onto its stripe (FNV-1a).
 func (e *Engine) shardFor(key string) *resultShard {
@@ -501,9 +560,9 @@ func (e *Engine) AssureMission(cfg core.Config, grid []float64, missionTime floa
 // Stats snapshots the engine's accounting.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Hits:   e.hits.Load(),
-		Misses: e.misses.Load(),
-		Evals:  e.evals.Load(),
+		Hits:   e.hits.Value(),
+		Misses: e.misses.Value(),
+		Evals:  e.evals.Value(),
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -516,8 +575,8 @@ func (e *Engine) Stats() Stats {
 	s.PreparedEntries = e.prepared.len()
 	s.PreparedBytes = e.prepared.sizeBytes()
 	e.pmu.Unlock()
-	s.PanicsRecovered = e.panicsRecovered.Load()
-	s.NonFiniteRejected = e.nonFiniteRejected.Load()
+	s.PanicsRecovered = e.panicsRecovered.Value()
+	s.NonFiniteRejected = e.nonFiniteRejected.Value()
 	s.SolverFallbacks = ctmc.Fallbacks()
 	if fb := ctmc.FallbacksByBackend(); len(fb) > 0 {
 		s.FallbacksByBackend = fb
@@ -539,9 +598,9 @@ func (e *Engine) Reset() {
 	e.pmu.Lock()
 	e.prepared.reset()
 	e.pmu.Unlock()
-	e.hits.Store(0)
-	e.misses.Store(0)
-	e.evals.Store(0)
-	e.panicsRecovered.Store(0)
-	e.nonFiniteRejected.Store(0)
+	e.hits.Reset()
+	e.misses.Reset()
+	e.evals.Reset()
+	e.panicsRecovered.Reset()
+	e.nonFiniteRejected.Reset()
 }

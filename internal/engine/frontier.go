@@ -40,6 +40,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 )
 
@@ -136,6 +137,8 @@ type frontierRun struct {
 // revision; an emit error aborts the run (it is how a disconnected stream
 // consumer cancels the loop between points).
 func (e *Engine) AdaptiveFrontier(ctx context.Context, cfg core.Config, opts FrontierOptions, emit func(FrontierRevision) error) ([]core.DesignPoint, int, error) {
+	sp := obs.StartStage(obs.StageFrontier)
+	defer sp.End()
 	if opts.Space.Size() == 0 {
 		opts.Space = core.DefaultDesignSpace()
 	}

@@ -47,6 +47,21 @@ func Enable(p Plan) {
 // zero-cost false path.
 func Disable() { active.Store(nil) }
 
+// ActiveRates returns a copy of the armed plan's per-site rates, or nil
+// when injection is disabled — the observability surface's view of what a
+// chaos run armed, alongside FiredCounts' view of what actually fired.
+func ActiveRates() map[string]float64 {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(st.rates))
+	for k, v := range st.rates {
+		out[k] = v
+	}
+	return out
+}
+
 // EnableFromEnv activates the plan in $REPRO_FAULTS when the variable is
 // set and parseable, reporting whether injection is now enabled. An unset
 // or empty variable is a normal production boot (false, nil).

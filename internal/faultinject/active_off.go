@@ -53,3 +53,6 @@ func SleepFor(string, string, float64) bool { return false }
 
 // FiredCounts is always nil in a repro_nofaults build.
 func FiredCounts() map[string]uint64 { return nil }
+
+// ActiveRates is always nil in a repro_nofaults build.
+func ActiveRates() map[string]float64 { return nil }

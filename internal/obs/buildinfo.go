@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: the module version, the VCS
+// revision it was built from (with a dirty flag when the working tree had
+// local modifications), and the Go toolchain. Served on /healthz and
+// /v1/stats and printed by every cmd/* binary's -version flag, so a
+// regression report can always name the exact build.
+type Build struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision"`
+	Dirty     bool   `json:"dirty,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+var buildOnce = sync.OnceValue(func() Build {
+	b := Build{Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// BuildInfo returns the binary's build identity (computed once).
+func BuildInfo() Build { return buildOnce() }
+
+// VersionString renders the build identity as one line for -version flags.
+func VersionString(binary string) string {
+	b := BuildInfo()
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "-dirty"
+	}
+	mod := b.Module
+	if mod == "" {
+		mod = "repro"
+	}
+	return binary + " " + mod + " " + rev + " (" + b.GoVersion + ")"
+}
+
+// RegisterBuildInfo exposes the build identity as the conventional
+// constant-1 info gauge with identifying labels.
+func RegisterBuildInfo(r *Registry) {
+	b := BuildInfo()
+	dirty := "false"
+	if b.Dirty {
+		dirty = "true"
+	}
+	r.GaugeFunc("repro_build_info",
+		"Build identity of the running binary; value is always 1.",
+		func() float64 { return 1 },
+		L("revision", b.Revision), L("dirty", dirty), L("go_version", b.GoVersion))
+}

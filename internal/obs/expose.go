@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family
+// followed by its samples, families in name order, histogram series
+// expanded into cumulative _bucket/_sum/_count lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// write renders one family. The registry lock is NOT held: family
+// structure (series list, bounds) is append-only and snapshot above;
+// sample values are atomics; collectors run their own callback.
+func (f *family) write(bw *bufio.Writer) error {
+	fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+	if f.collect != nil {
+		var err error
+		f.collect(func(value float64, labels ...Label) {
+			if err != nil {
+				return
+			}
+			err = writeSample(bw, f.name, renderLabels(labels), value)
+		})
+		return err
+	}
+	for _, s := range f.series {
+		if err := f.writeSeries(bw, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(bw *bufio.Writer, s *series) error {
+	switch {
+	case f.kind == KindHistogram:
+		cum, count, sum := s.h.snapshot()
+		for i, bound := range f.bounds {
+			le := strconv.FormatFloat(bound, 'g', -1, 64)
+			if err := writeSample(bw, f.name+"_bucket", joinLabels(s.labels, `le="`+le+`"`), float64(cum[i])); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(bw, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(cum[len(cum)-1])); err != nil {
+			return err
+		}
+		if err := writeSample(bw, f.name+"_sum", s.labels, sum); err != nil {
+			return err
+		}
+		return writeSample(bw, f.name+"_count", s.labels, float64(count))
+	case s.fn != nil:
+		return writeSample(bw, f.name, s.labels, s.fn())
+	case s.c != nil:
+		return writeSample(bw, f.name, s.labels, float64(s.c.Value()))
+	default:
+		return writeSample(bw, f.name, s.labels, s.g.Value())
+	}
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(bw *bufio.Writer, name, labels string, value float64) error {
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(value))
+	_, err := bw.WriteString("\n")
+	return err
+}
+
+// formatValue renders a sample value; integral values render without an
+// exponent or decimal point so counter samples read naturally.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in # HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ContentType is the Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ValidateExposition is a strict line-grammar checker for the text
+// exposition format, used by tests and the CI smoke scrape. It verifies:
+//
+//   - every line is a valid # HELP, # TYPE, or sample line;
+//   - # TYPE declares counter, gauge, or histogram, at most once per
+//     family, and before any of the family's samples;
+//   - sample metric names belong to a declared family (histograms owning
+//     their _bucket/_sum/_count suffixes);
+//   - sample values parse as floats;
+//   - histogram buckets carry an le label, are cumulative (non-decreasing
+//     in declaration order), and end with le="+Inf" matching _count;
+//   - no duplicate sample (same name and label set).
+//
+// It returns nil for a valid exposition, or an error naming the first
+// offending line.
+func ValidateExposition(data []byte) error {
+	fams := make(map[string]*expoFamily)
+	seen := make(map[string]bool) // name{labels} uniqueness
+	// Histogram bucket bookkeeping, keyed by series (name + labels sans le).
+	bucketPrev := make(map[string]float64)
+	bucketInf := make(map[string]float64)
+
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		var line string
+		if i := strings.IndexByte(string(data), '\n'); i >= 0 {
+			line = string(data[:i])
+			data = data[i+1:]
+		} else {
+			line = string(data)
+			data = nil
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, fams); err != nil {
+				return fmt.Errorf("line %d: %w: %q", lineNo, err, line)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w: %q", lineNo, err, line)
+		}
+		base, suffix := histogramBase(name, fams)
+		f := fams[base]
+		if f == nil {
+			return fmt.Errorf("line %d: sample for undeclared family %q: %q", lineNo, name, line)
+		}
+		f.sampled = true
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s: %q", lineNo, key, line)
+		}
+		seen[key] = true
+		if f.kind == "histogram" {
+			switch suffix {
+			case "_bucket":
+				le, rest, ok := extractLE(labels)
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+				}
+				sk := base + "{" + rest + "}"
+				if prev, ok := bucketPrev[sk]; ok && value < prev {
+					return fmt.Errorf("line %d: histogram buckets not cumulative: %q", lineNo, line)
+				}
+				bucketPrev[sk] = value
+				if le == "+Inf" {
+					bucketInf[sk] = value
+				}
+			case "_count":
+				sk := base + "{" + labels + "}"
+				if inf, ok := bucketInf[sk]; ok && inf != value {
+					return fmt.Errorf("line %d: histogram _count %v != +Inf bucket %v: %q", lineNo, value, inf, line)
+				}
+			case "_sum":
+				// value already validated as a float
+			default:
+				return fmt.Errorf("line %d: bare sample for histogram family %q: %q", lineNo, base, line)
+			}
+		}
+	}
+	return nil
+}
+
+// expoFamily tracks one declared family while validating an exposition.
+type expoFamily struct {
+	kind    string
+	sampled bool
+}
+
+func validateComment(line string, fams map[string]*expoFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment")
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validName(fields[2]) {
+			return fmt.Errorf("invalid metric name in HELP")
+		}
+		return nil
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line")
+		}
+		name, kind := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name in TYPE")
+		}
+		switch kind {
+		case "counter", "gauge", "histogram":
+		default:
+			return fmt.Errorf("unknown metric type %q", kind)
+		}
+		if f, ok := fams[name]; ok {
+			if f.sampled {
+				return fmt.Errorf("TYPE after samples for %q", name)
+			}
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		fams[name] = &expoFamily{kind: kind}
+		return nil
+	default:
+		return fmt.Errorf("unknown comment directive")
+	}
+}
+
+// parseSample splits a sample line into metric name, raw label body (""
+// when unlabeled), and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name")
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set")
+		}
+		labels = rest[1:end]
+		if err := validateLabelBody(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+1:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", 0, fmt.Errorf("missing value separator")
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	if valStr == "" || strings.ContainsAny(valStr, " \t") {
+		return "", "", 0, fmt.Errorf("malformed value")
+	}
+	switch valStr {
+	case "+Inf", "-Inf", "NaN":
+		// accepted literals
+	default:
+		if value, err = strconv.ParseFloat(valStr, 64); err != nil {
+			return "", "", 0, fmt.Errorf("unparseable value %q", valStr)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// validateLabelBody checks a `k="v",k2="v2"` label body: valid label
+// names, quoted values, commas between pairs, no stray characters.
+func validateLabelBody(body string) error {
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair")
+		}
+		key := rest[:eq]
+		if !validName(key) || strings.Contains(key, ":") {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value")
+		}
+		rest = rest[1:]
+		// Scan to the closing quote, honoring backslash escapes.
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value")
+		}
+		if rest == "" {
+			return nil
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("missing comma between labels")
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+// extractLE pulls the le="..." pair out of a bucket label body, returning
+// the le value, the remaining label body, and whether le was present.
+func extractLE(body string) (le, rest string, ok bool) {
+	parts := strings.Split(body, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, found := strings.CutPrefix(p, `le="`); found && strings.HasSuffix(v, `"`) && !ok {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ","), ok
+}
+
+// histogramBase maps a sample name to its declaring family: for histogram
+// families, name_bucket/name_sum/name_count belong to family name. It
+// returns the family base name and the suffix consumed ("" when the
+// sample name is itself a declared family).
+func histogramBase(name string, fams map[string]*expoFamily) (string, string) {
+	if f, ok := fams[name]; ok {
+		if f.kind == "histogram" {
+			return name, "bare"
+		}
+		return name, ""
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.kind == "histogram" {
+			return base, suffix
+		}
+	}
+	return "", ""
+}

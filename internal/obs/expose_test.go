@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildFullRegistry assembles one registry exercising every instrument
+// shape: plain and labeled counters, gauges, func-backed series, a
+// collector with runtime-discovered labels, histograms with and without
+// labels, and label values needing escaping.
+func buildFullRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("x_requests_total", "Requests served.")
+	c.Add(42)
+	r.Counter("x_by_backend_total", "Per-backend ops.", L("backend", "sor-cascade")).Add(7)
+	r.Counter("x_by_backend_total", "Per-backend ops.", L("backend", "gmres")).Add(3)
+	g := r.Gauge("x_inflight", "Current in-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("x_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	r.CounterFunc("x_evals_total", "Evals.", func() float64 { return 99 })
+	h := r.Histogram("x_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Histogram("x_iters", "Iterations.", []float64{10, 100}, L("backend", "gmres")).Observe(17)
+	r.SetCollector("x_faults_fired_total", "Fault sites fired.", KindCounter, func(emit Emit) {
+		emit(5, L("site", "solve.perturb"))
+		emit(1, L("site", `weird"site\n`)) // escaping must round-trip the checker
+	})
+	return r
+}
+
+// TestWritePrometheusValid renders the kitchen-sink registry and runs the
+// strict grammar checker over the output.
+func TestWritePrometheusValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFullRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE x_requests_total counter",
+		"x_requests_total 42",
+		`x_by_backend_total{backend="sor-cascade"} 7`,
+		"# TYPE x_latency_seconds histogram",
+		`x_latency_seconds_bucket{le="0.01"} 1`,
+		`x_latency_seconds_bucket{le="+Inf"} 3`,
+		"x_latency_seconds_count 3",
+		`x_iters_bucket{backend="gmres",le="10"} 0`,
+		`x_faults_fired_total{site="solve.perturb"} 5`,
+		"x_uptime_seconds 12.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteDefaultRegistryValid checks the process-global registry (stage
+// spans plus whatever instrumented packages linked into this test binary
+// registered at init) renders a valid exposition.
+func TestWriteDefaultRegistryValid(t *testing.T) {
+	sp := StartStage(StageExplore)
+	sp.End()
+	var buf bytes.Buffer
+	if err := Default().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("default registry exposition invalid: %v", err)
+	}
+	if !strings.Contains(buf.String(), `repro_stage_duration_seconds_bucket{stage="explore",le="+Inf"}`) {
+		t.Fatalf("missing stage histogram in default registry:\n%s", buf.String())
+	}
+}
+
+// TestValidateExpositionRejects feeds the checker known-bad documents; a
+// checker that accepts garbage guards nothing.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":  "x_total 1\n",
+		"bad type":            "# TYPE x_total meter\nx_total 1\n",
+		"bad value":           "# TYPE x_total counter\nx_total one\n",
+		"bad name":            "# TYPE 9x counter\n9x 1\n",
+		"unterminated labels": "# TYPE x_total counter\nx_total{a=\"b\" 1\n",
+		"unquoted label":      "# TYPE x_total counter\nx_total{a=b} 1\n",
+		"duplicate sample":    "# TYPE x_total counter\nx_total 1\nx_total 2\n",
+		"duplicate TYPE":      "# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n",
+		"bucket without le":   "# TYPE x histogram\nx_bucket 1\n",
+		"non-cumulative buckets": "# TYPE x histogram\n" +
+			`x_bucket{le="1"} 5` + "\n" + `x_bucket{le="+Inf"} 3` + "\n",
+		"count mismatch": "# TYPE x histogram\n" +
+			`x_bucket{le="+Inf"} 3` + "\nx_sum 1\nx_count 4\n",
+		"bare histogram sample": "# TYPE x histogram\nx 1\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: checker accepted invalid document %q", name, doc)
+		}
+	}
+}
+
+// TestValidateExpositionAcceptsEdgeValues pins accepted value literals.
+func TestValidateExpositionAcceptsEdgeValues(t *testing.T) {
+	doc := "# HELP x_total help text with punctuation: ok.\n" +
+		"# TYPE x_total counter\nx_total 1e+06\n" +
+		"# TYPE y gauge\ny +Inf\n" +
+		"# TYPE z gauge\nz{a=\"esc\\\"aped\\\\\"} -0.5\n"
+	if err := ValidateExposition([]byte(doc)); err != nil {
+		t.Fatalf("checker rejected valid document: %v", err)
+	}
+}
+
+// TestMetricNames checks the name listing used by the golden-file test.
+func TestMetricNames(t *testing.T) {
+	r := buildFullRegistry()
+	names := r.MetricNames()
+	want := []string{
+		"x_by_backend_total", "x_evals_total", "x_faults_fired_total",
+		"x_inflight", "x_iters", "x_latency_seconds",
+		"x_requests_total", "x_uptime_seconds",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("MetricNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("MetricNames = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats, which stops the world:
+// one read serves every runtime series of a scrape, and scrapes within a
+// second share the read. Dashboards polling at 1Hz or slower always see
+// fresh numbers.
+var memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func memStats() runtime.MemStats {
+	memStatsCache.mu.Lock()
+	defer memStatsCache.mu.Unlock()
+	if time.Since(memStatsCache.at) > time.Second {
+		runtime.ReadMemStats(&memStatsCache.stat)
+		memStatsCache.at = time.Now()
+	}
+	return memStatsCache.stat
+}
+
+// RegisterRuntimeMetrics adds Go runtime health series (goroutines, heap,
+// GC) to r. Opt-in: cmd/server wires it into the serving registry; bare
+// library use stays runtime-silent.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("repro_go_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("repro_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(memStats().HeapAlloc) })
+	r.GaugeFunc("repro_go_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(memStats().HeapObjects) })
+	r.CounterFunc("repro_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(memStats().PauseTotalNs) / 1e9 })
+	r.CounterFunc("repro_go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(memStats().NumGC) })
+}

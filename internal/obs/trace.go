@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace id. The
+// service generates an id at ingress when the client didn't send one,
+// echoes it on every response, and forwards it on cluster peer hops, so
+// one id follows a request coordinator → owner → replica and lands on the
+// NDJSON terminal done line.
+const TraceHeader = "X-Repro-Trace-Id"
+
+// maxTraceIDLen bounds accepted ids; anything longer (or containing
+// characters outside [0-9A-Za-z._-]) is discarded and replaced at
+// ingress, so hostile header values never reach logs or peer hops.
+const maxTraceIDLen = 64
+
+type traceKey struct{}
+
+// WithTraceID returns ctx carrying the trace id.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace id carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// traceFallback seeds ids when crypto/rand fails (it effectively never
+// does); a process-unique counter keeps even that path collision-free
+// within one process.
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a fresh 16-byte random id in lowercase hex.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceFallback.Add(1)
+		for i := 0; i < 8; i++ {
+			b[15-i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeTraceID returns id when it is safe to propagate (1–64 chars of
+// [0-9A-Za-z._-]) and "" otherwise.
+func SanitizeTraceID(id string) string {
+	if id == "" || len(id) > maxTraceIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}

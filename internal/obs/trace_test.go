@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace id %q: want 32 hex chars", id)
+		}
+		if SanitizeTraceID(id) != id {
+			t.Fatalf("generated id %q does not pass its own sanitizer", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	if got := SanitizeTraceID("abc-DEF_1.2"); got != "abc-DEF_1.2" {
+		t.Fatalf("valid id rejected: %q", got)
+	}
+	for _, bad := range []string{
+		"", "has space", "new\nline", `quote"`, "semi;colon",
+		strings.Repeat("a", 65), "héx",
+	} {
+		if got := SanitizeTraceID(bad); got != "" {
+			t.Fatalf("SanitizeTraceID(%q) = %q, want \"\"", bad, got)
+		}
+	}
+	if got := SanitizeTraceID(strings.Repeat("a", 64)); got == "" {
+		t.Fatal("64-char id should be accepted")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context carries a trace id")
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("TraceID = %q", got)
+	}
+	if got := TraceID(WithTraceID(context.Background(), "")); got != "" {
+		t.Fatalf("empty id stored: %q", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrOverloaded reports a 429 from the server's admission control; the
@@ -303,6 +304,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tid := obs.TraceID(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 
 	resp, err := c.http.Do(req)

@@ -350,3 +350,82 @@ func TestClusterKillRejoinResync(t *testing.T) {
 	}
 	assertAllCachesFinite(t, nodes)
 }
+
+// TestClusterTracePropagation injects a trace id at one node (the
+// coordinator) and requires the same id to ride the peer hops the sweep
+// takes across the ring and to come back to the client on the NDJSON
+// terminal done line — one id ties the distributed evaluation together
+// end to end.
+func TestClusterTracePropagation(t *testing.T) {
+	faultinject.Disable()
+	nodes := newTestCluster(t, 3, 2)
+
+	const traceID = "trace-prop-e2e-0001"
+
+	// Record the trace header on every peer-solve hop into node-1/node-2.
+	// Heartbeats and async replication run on background contexts and are
+	// deliberately not traced; only request-scoped hops count.
+	var tracedHops, untracedHops atomic.Int64
+	for _, cn := range nodes[1:] {
+		svc := cn.svc
+		cn.swap.set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == cluster.PeerSolvePath {
+				if r.Header.Get("X-Repro-Trace-Id") == traceID {
+					tracedHops.Add(1)
+				} else {
+					untracedHops.Add(1)
+				}
+			}
+			svc.ServeHTTP(w, r)
+		}))
+	}
+
+	cfgs := testGridConfigs()
+	payload, _ := json.Marshal(BatchRequest{Configs: cfgs})
+	req, _ := http.NewRequest(http.MethodPost, nodes[0].baseURL+"/v1/batch", bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ndjsonType)
+	req.Header.Set("X-Repro-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed batch: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Repro-Trace-Id"); got != traceID {
+		t.Errorf("response echoed trace id %q, want %q", got, traceID)
+	}
+
+	var last BatchStreamLine
+	n := 0
+	sc := streamScanner(resp)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d undecodable: %v", n, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(cfgs)+1 || !last.Done {
+		t.Fatalf("stream delivered %d lines (done=%v), want %d point lines plus done", n, last.Done, len(cfgs))
+	}
+	if last.TraceID != traceID {
+		t.Errorf("done line carries trace id %q, want %q", last.TraceID, traceID)
+	}
+
+	remote := nodes[0].node.Status().RoutedRemote
+	if remote == 0 {
+		t.Fatalf("coordinator routed nothing remotely; trace propagation not exercised")
+	}
+	if tracedHops.Load() == 0 {
+		t.Errorf("no peer-solve hop carried the injected trace id (%d untraced hops, %d routed remote)",
+			untracedHops.Load(), remote)
+	}
+	if untracedHops.Load() != 0 {
+		t.Errorf("%d peer-solve hops arrived without the injected trace id", untracedHops.Load())
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ndjsonType is the streaming content type: one JSON document per line.
@@ -53,6 +54,10 @@ type FrontierLine struct {
 	// Error terminates the stream when set: the loop failed after the line
 	// prefix was already committed, so the failure rides in-band.
 	Error string `json:"error,omitempty"`
+	// TraceID carries the request's trace id on terminal lines (Done or
+	// Error), tying the stream's outcome to the server-side logs and any
+	// cluster peer hops the evaluations took.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchStreamLine is one NDJSON line of a streamed POST /v1/batch response:
@@ -62,6 +67,11 @@ type BatchStreamLine struct {
 	Index  int          `json:"index"`
 	Result *core.Result `json:"result,omitempty"`
 	Error  string       `json:"error,omitempty"`
+	// Done marks the terminal line: every point line has been written.
+	// The line carries no result; Index is the point count and TraceID
+	// the request's trace id.
+	Done    bool   `json:"done,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleFrontier serves POST /v1/frontier: the adaptive frontier loop with
@@ -137,7 +147,11 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
 	emit := func(rev engine.FrontierRevision) error {
-		if err := enc.Encode(FrontierLine{FrontierRevision: rev}); err != nil {
+		line := FrontierLine{FrontierRevision: rev}
+		if rev.Done {
+			line.TraceID = obs.TraceID(r.Context())
+		}
+		if err := enc.Encode(line); err != nil {
 			return err
 		}
 		if fl != nil {
@@ -150,7 +164,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	if err != nil && r.Context().Err() == nil {
 		// The status line is long gone; report the failure in-band. (If the
 		// client hung up there is no one left to tell.)
-		_ = enc.Encode(FrontierLine{Error: err.Error()})
+		_ = enc.Encode(FrontierLine{Error: err.Error(), TraceID: obs.TraceID(r.Context())})
 	}
 }
 
@@ -212,6 +226,13 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, cfgs []core
 		if fl != nil {
 			fl.Flush()
 		}
+	}
+	// Terminal done line: the stream completed (as opposed to a connection
+	// torn mid-batch, which clients detect as truncation) and the request's
+	// trace id rides out with it.
+	_ = enc.Encode(BatchStreamLine{Index: n, Done: true, TraceID: obs.TraceID(ctx)})
+	if fl != nil {
+		fl.Flush()
 	}
 }
 
@@ -311,6 +332,10 @@ func (c *Client) evalBatchStreamOnce(ctx context.Context, cfgs []core.Config, on
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			return fmt.Errorf("service: undecodable batch line: %w", err)
 		}
+		if line.Done {
+			// Terminal marker: every point line arrived; nothing follows.
+			break
+		}
 		if line.Index != seen {
 			return fmt.Errorf("service: batch stream skipped from line %d to %d", seen, line.Index)
 		}
@@ -340,6 +365,9 @@ func (c *Client) startStream(ctx context.Context, path string, payload []byte, a
 	req.Header.Set("Content-Type", "application/json")
 	if accept != "" {
 		req.Header.Set("Accept", accept)
+	}
+	if tid := obs.TraceID(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -250,9 +250,20 @@ func TestBatchStreamByteEquivalent(t *testing.T) {
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 16<<20)
 	i := 0
+	sawDone := false
 	for sc.Scan() {
-		if i >= len(cfgs) {
-			t.Fatalf("stream produced more than %d lines", len(cfgs))
+		if i == len(cfgs) {
+			// Terminal done line after the point lines.
+			var line BatchStreamLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil || !line.Done {
+				t.Fatalf("line %d is not the done marker: %s", i, sc.Bytes())
+			}
+			sawDone = true
+			i++
+			continue
+		}
+		if i > len(cfgs) {
+			t.Fatalf("stream produced more than %d lines", len(cfgs)+1)
 		}
 		wantLine, _ := json.Marshal(BatchStreamLine{Index: i, Result: buffered[i]})
 		if !bytes.Equal(sc.Bytes(), wantLine) {
@@ -264,8 +275,8 @@ func TestBatchStreamByteEquivalent(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if i != len(cfgs) {
-		t.Fatalf("stream produced %d lines for %d points", i, len(cfgs))
+	if i != len(cfgs)+1 || !sawDone {
+		t.Fatalf("stream produced %d lines for %d points (done=%v)", i, len(cfgs), sawDone)
 	}
 
 	// The client wrapper decodes the same stream back to the same results.

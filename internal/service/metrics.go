@@ -1,0 +1,185 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// initMetrics builds the server's metric registry. Per-server counters
+// (requests, points, rejections, recovered panics, watchdog timeouts) are
+// real registry instruments — the handlers increment the same handles the
+// scrape reads. Everything that already has an owner (admission semaphore
+// occupancy, the latency EWMA, checkpoint health, cluster status, fault
+// injection) is bridged with scrape-time funcs and collectors, so
+// /v1/stats and /metrics are two views over one set of sources.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	s.requests = r.Counter("repro_service_requests_total",
+		"Admitted eval/batch/frontier requests.")
+	s.points = r.Counter("repro_service_points_total",
+		"Configurations evaluated across all admitted requests.")
+	s.rejected = r.Counter("repro_service_rejected_total",
+		"Requests refused by admission control (429).")
+	s.panicsRecovered = r.Counter("repro_service_panics_recovered_total",
+		"Handler panics converted to 500s by the recovery middleware.")
+	s.watchdogTimeouts = r.Counter("repro_service_watchdog_timeouts_total",
+		"Point evaluations abandoned by the SolveTimeout watchdog.")
+
+	r.GaugeFunc("repro_service_inflight",
+		"Requests currently holding an admission slot.",
+		func() float64 { return float64(len(s.sem)) })
+	r.GaugeFunc("repro_service_max_inflight",
+		"Admission slots (MaxInflight).",
+		func() float64 { return float64(cap(s.sem)) })
+	r.GaugeFunc("repro_service_pending_solves",
+		"Evaluations holding or queued for the solve semaphore.",
+		func() float64 { return float64(s.pendingSolves.Load()) })
+	r.GaugeFunc("repro_service_solve_latency_ewma_seconds",
+		"EWMA of recent successful solve latencies (drives Retry-After).",
+		func() float64 { return s.solveLatency.seconds() })
+	r.GaugeFunc("repro_service_draining",
+		"1 while the server is draining for shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("repro_service_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Per-route request duration histograms, pre-registered for the fixed
+	// route set so the per-request cost is one map read and one observe.
+	s.routeHist = make(map[string]*obs.Histogram, len(metricRoutes))
+	for _, route := range metricRoutes {
+		s.routeHist[route] = r.Histogram("repro_http_request_duration_seconds",
+			"Wall time of one HTTP request, by route.",
+			obs.LatencyBuckets, obs.L("route", route))
+	}
+
+	if s.ckptStatus != nil {
+		r.GaugeFunc("repro_checkpoint_last_save_age_seconds",
+			"Seconds since the on-disk snapshot was last known current (-1 before the first save).",
+			func() float64 {
+				st := s.ckptStatus()
+				if st.LastSuccess.IsZero() {
+					return -1
+				}
+				return time.Since(st.LastSuccess).Seconds()
+			})
+		r.GaugeFunc("repro_checkpoint_consecutive_failures",
+			"Failed checkpoint attempts since the last success.",
+			func() float64 { return float64(s.ckptStatus().ConsecutiveFailures) })
+		r.CounterFunc("repro_checkpoint_saves_ok_total",
+			"Successful checkpoint saves.",
+			func() float64 { return float64(s.ckptStatus().SavesOK) })
+		r.CounterFunc("repro_checkpoint_saves_failed_total",
+			"Failed checkpoint saves.",
+			func() float64 { return float64(s.ckptStatus().SavesFailed) })
+	}
+
+	if s.clusterNode != nil {
+		node := s.clusterNode
+		r.GaugeFunc("repro_cluster_replication",
+			"Configured cache-entry replicas per key.",
+			func() float64 { return float64(node.Replication()) })
+		counter := func(name, help string, read func(cluster.Status) uint64) {
+			r.CounterFunc(name, help, func() float64 { return float64(read(node.Status())) })
+		}
+		counter("repro_cluster_routed_local_total",
+			"Point evaluations this node owned and solved locally.",
+			func(st cluster.Status) uint64 { return st.RoutedLocal })
+		counter("repro_cluster_routed_remote_total",
+			"Point evaluations routed to a peer over the ring.",
+			func(st cluster.Status) uint64 { return st.RoutedRemote })
+		counter("repro_cluster_hedges_total",
+			"Failover attempts against a replica after the owner failed.",
+			func(st cluster.Status) uint64 { return st.Hedges })
+		counter("repro_cluster_degraded_solves_total",
+			"Points solved locally because every responsible peer was unavailable.",
+			func(st cluster.Status) uint64 { return st.DegradedSolves })
+		counter("repro_cluster_replicated_total",
+			"Cache entries pushed to replica peers.",
+			func(st cluster.Status) uint64 { return st.Replicated })
+		counter("repro_cluster_replication_dropped_total",
+			"Replication pushes dropped because the async queue was full.",
+			func(st cluster.Status) uint64 { return st.ReplicationDropped })
+		counter("repro_cluster_fills_admitted_total",
+			"Replicated cache-fill entries admitted from peers.",
+			func(st cluster.Status) uint64 { return st.FillsAdmitted })
+		counter("repro_cluster_resyncs_total",
+			"Keyspace re-sync rounds run after (re)joining the ring.",
+			func(st cluster.Status) uint64 { return st.Resyncs })
+		r.SetCollector("repro_cluster_peer_up",
+			"1 when this node believes the peer alive, 0 when suspect or dead.",
+			obs.KindGauge, func(emit obs.Emit) {
+				for _, p := range node.Status().Peers {
+					up := 0.0
+					if p.State == cluster.PeerAlive {
+						up = 1
+					}
+					emit(up, obs.L("peer", p.ID))
+				}
+			})
+	}
+
+	r.GaugeFunc("repro_faultinject_armed",
+		"1 while a deterministic fault-injection plan is armed.",
+		func() float64 {
+			if faultinject.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	r.SetCollector("repro_faultinject_fired_total",
+		"Injected faults fired, by site (empty while disarmed).",
+		obs.KindCounter, func(emit obs.Emit) {
+			for site, n := range faultinject.FiredCounts() {
+				emit(float64(n), obs.L("site", site))
+			}
+		})
+
+	obs.RegisterBuildInfo(r)
+}
+
+// metricRoutes is the fixed label set of the request-duration histogram;
+// metricRoute buckets an arbitrary request path into it.
+var metricRoutes = []string{
+	"/v1/eval", "/v1/batch", "/v1/frontier", "/v1/stats",
+	"/v1/peer", "/healthz", "/metrics", "other",
+}
+
+func metricRoute(path string) string {
+	switch path {
+	case "/v1/eval", "/v1/batch", "/v1/frontier", "/v1/stats", "/healthz", "/metrics":
+		return path
+	}
+	if len(path) >= len("/v1/peer/") && path[:len("/v1/peer/")] == "/v1/peer/" {
+		return "/v1/peer"
+	}
+	return "other"
+}
+
+// Metrics returns the server's metric registry (tests and embedders).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// handleMetrics serves GET /metrics: the Prometheus text exposition of
+// the process-global registry (pipeline stages, solver backends,
+// incremental-path counters), the backend engine's registry, and the
+// server's own. The three hold disjoint metric names, so concatenation
+// is a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = obs.Default().WritePrometheus(w)
+	if em, ok := s.backend.(interface{ Metrics() *obs.Registry }); ok {
+		_ = em.Metrics().WritePrometheus(w)
+	}
+	_ = s.reg.WritePrometheus(w)
+}

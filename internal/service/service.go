@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -100,6 +102,10 @@ type Options struct {
 	// "degraded" while any peer is believed down. Nil is a plain
 	// single-node server.
 	Cluster *cluster.Node
+	// Logger receives structured request and error logs (with trace_id
+	// fields). Nil discards them — the in-process test servers stay
+	// silent; cmd/server passes its slog root.
+	Logger *slog.Logger
 }
 
 // Stats counts the service-level request traffic (the engine keeps its own
@@ -142,9 +148,15 @@ type Server struct {
 	clusterNode  *cluster.Node
 	mux          *http.ServeMux
 	started      time.Time
+	logger       *slog.Logger
 
-	requests, points, rejected        atomic.Uint64
-	panicsRecovered, watchdogTimeouts atomic.Uint64
+	// Request counters are registry instruments (see initMetrics): the
+	// handlers and GET /metrics share one set of atomics. routeHist is
+	// the per-route request-duration histogram table.
+	reg                               *obs.Registry
+	requests, points, rejected        *obs.Counter
+	panicsRecovered, watchdogTimeouts *obs.Counter
+	routeHist                         map[string]*obs.Histogram
 	draining                          atomic.Bool
 
 	// Load signals behind the latency-derived Retry-After: the EWMA of
@@ -194,7 +206,12 @@ func New(opts Options) *Server {
 		clusterNode:  opts.Cluster,
 		mux:          http.NewServeMux(),
 		started:      time.Now(),
+		logger:       opts.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.initMetrics()
 	// Baseline the health-probe incident detector at construction: some
 	// backend counters (the ctmc fallback tallies) are process-global, so
 	// history from before this server existed must not read as a fresh
@@ -206,19 +223,24 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.clusterNode != nil {
 		s.registerPeerHandlers()
 	}
 	return s
 }
 
-// ServeHTTP implements http.Handler. Every request passes two layers of
-// hardening before routing: a panic-recovery middleware (a handler or
-// backend panic becomes a counted 500, not a dead process — except
-// http.ErrAbortHandler, net/http's sanctioned way to abort a connection,
-// which is re-raised) and the transport fault-injection seam (injected
-// 503s, connection resets, latency — never on /healthz, so chaos tests can
-// still probe liveness out-of-band).
+// ServeHTTP implements http.Handler. Every request passes three layers
+// before routing: a panic-recovery middleware (a handler or backend panic
+// becomes a counted 500, not a dead process — except http.ErrAbortHandler,
+// net/http's sanctioned way to abort a connection, which is re-raised),
+// trace-id handling (the X-Repro-Trace-Id header is sanitized or minted,
+// echoed on the response, and planted in the request context so it
+// follows the evaluation through peer hops, NDJSON done lines, and logs),
+// and the transport fault-injection seam (injected 503s, connection
+// resets, latency — never on /healthz, so chaos tests can still probe
+// liveness out-of-band). Request durations land in the per-route
+// histogram on the way out.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		rec := recover()
@@ -234,6 +256,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError,
 			ErrorResponse{Error: fmt.Sprintf("service: internal error (recovered panic): %v", rec)})
 	}()
+	tid := obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader))
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, tid)
+	r = r.WithContext(obs.WithTraceID(r.Context(), tid))
 	if r.URL.Path != "/healthz" {
 		faultinject.SleepFor(faultinject.HTTPLatency, faultinject.HTTPLatencyMS, 50)
 		if faultinject.Fire(faultinject.HTTPReset) {
@@ -249,7 +277,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	start := time.Now()
 	s.mux.ServeHTTP(w, r)
+	elapsed := time.Since(start)
+	if h := s.routeHist[metricRoute(r.URL.Path)]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelDebug, "request",
+		slog.String("component", "service"),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("trace_id", tid),
+		slog.Duration("elapsed", elapsed))
 }
 
 // SetDraining flips the server into (or out of) draining: /healthz answers
@@ -261,13 +300,13 @@ func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
 // Stats snapshots the service-level counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:         s.requests.Load(),
-		Points:           s.points.Load(),
-		Rejected:         s.rejected.Load(),
+		Requests:         s.requests.Value(),
+		Points:           s.points.Value(),
+		Rejected:         s.rejected.Value(),
 		Inflight:         len(s.sem),
 		MaxInflight:      cap(s.sem),
-		PanicsRecovered:  s.panicsRecovered.Load(),
-		WatchdogTimeouts: s.watchdogTimeouts.Load(),
+		PanicsRecovered:  s.panicsRecovered.Value(),
+		WatchdogTimeouts: s.watchdogTimeouts.Value(),
 		Draining:         s.draining.Load(),
 		UptimeSeconds:    time.Since(s.started).Seconds(),
 	}
@@ -313,6 +352,9 @@ type StatsResponse struct {
 	// (absent otherwise), so a chaos run can verify which sites — the
 	// peer.* cluster sites included — actually fired.
 	Faults map[string]uint64 `json:"faults,omitempty"`
+	// Build identifies the serving binary (VCS revision, dirty flag, Go
+	// toolchain), so a stats snapshot always names the build it came from.
+	Build obs.Build `json:"build"`
 }
 
 // CheckpointStats is the wire form of persist.CheckpointStatus.
@@ -344,6 +386,8 @@ type HealthResponse struct {
 	// "degraded"; it returns to zero — and the status to "ok" — the moment
 	// the last missing peer heartbeats again.
 	ClusterPeersDown int `json:"cluster_peers_down,omitempty"`
+	// Build identifies the serving binary.
+	Build obs.Build `json:"build"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -563,7 +607,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Engine: s.backend.Stats(), Service: s.Stats(), Faults: faultinject.FiredCounts()}
+	resp := StatsResponse{
+		Engine:  s.backend.Stats(),
+		Service: s.Stats(),
+		Faults:  faultinject.FiredCounts(),
+		Build:   obs.BuildInfo(),
+	}
 	if s.clusterNode != nil {
 		st := s.clusterNode.Status()
 		resp.Cluster = &st
@@ -595,14 +644,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
 		Status:           "ok",
 		SolverFallbacks:  est.SolverFallbacks,
-		PanicsRecovered:  est.PanicsRecovered + s.panicsRecovered.Load(),
-		WatchdogTimeouts: s.watchdogTimeouts.Load(),
+		PanicsRecovered:  est.PanicsRecovered + s.panicsRecovered.Value(),
+		WatchdogTimeouts: s.watchdogTimeouts.Value(),
+		Build:            obs.BuildInfo(),
 	}
 
 	// Lazy incident detection: counters that moved since the previous
 	// probe (or since construction, for the first probe) stamp an
 	// incident; degraded = an incident inside the window.
-	cur := [4]uint64{est.SolverFallbacks, est.PanicsRecovered, s.panicsRecovered.Load(), s.watchdogTimeouts.Load()}
+	cur := [4]uint64{est.SolverFallbacks, est.PanicsRecovered, s.panicsRecovered.Value(), s.watchdogTimeouts.Value()}
 	now := time.Now()
 	s.healthMu.Lock()
 	if cur != s.lastCounters {
@@ -663,6 +713,12 @@ func (s *Server) evalError(w http.ResponseWriter, r *http.Request, err error) {
 		// treating it as permanent.
 		status = http.StatusInternalServerError
 	}
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "evaluation failed",
+		slog.String("component", "service"),
+		slog.String("path", r.URL.Path),
+		slog.String("trace_id", obs.TraceID(r.Context())),
+		slog.Int("status", status),
+		slog.String("error", err.Error()))
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 

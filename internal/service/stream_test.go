@@ -157,8 +157,9 @@ func TestStreamBatchSlowReaderBackpressure(t *testing.T) {
 	raw := trickleReader(t, resp.Body)
 	resp.Body.Close()
 
+	// n point lines plus the terminal done line.
 	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
-	if len(lines) != len(cfgs) {
+	if len(lines) != len(cfgs)+1 {
 		t.Fatalf("slow-read stream delivered %d lines for %d points:\n%s", len(lines), len(cfgs), raw)
 	}
 	for i, ln := range lines {
@@ -168,6 +169,12 @@ func TestStreamBatchSlowReaderBackpressure(t *testing.T) {
 		}
 		if line.Index != i {
 			t.Errorf("line %d carries index %d; stream out of order", i, line.Index)
+		}
+		if i == len(cfgs) {
+			if !line.Done || line.TraceID == "" {
+				t.Errorf("terminal line missing done marker or trace id: %s", ln)
+			}
+			continue
 		}
 		if line.Error != "" {
 			t.Errorf("line %d failed: %s", i, line.Error)
